@@ -1,0 +1,80 @@
+"""Ablation — user-defined data layout (§2.1, §3.2).
+
+"Having coalesced memory access has long been advocated as one of the most
+important off-chip memory access optimizations for modern GPUs" and "the
+efficiency performance of the same GPU application may drastically differ
+due to the use of different types of data layout."  GFlink lets the
+programmer pick the layout per GStruct; this bench shows both directions:
+
+* a **column-scanning** kernel (reads one field of every struct): SoA/AoP
+  coalesce perfectly, AoS strides and wastes bandwidth;
+* a **whole-record** kernel (reads every field of each struct): AoS is
+  contiguous per thread-block access pattern and wins, SoA's split arrays
+  walk three streams (§2.1: "[21], [19] have found that AoS is a better
+  choice over SoA during some applications").
+"""
+
+import numpy as np
+
+from conftest import run_once
+from repro.core import DataLayout, GFlinkCluster, GFlinkSession
+from repro.flink import ClusterConfig, CPUSpec
+from repro.gpu import KernelSpec
+
+COLUMN_KERNEL = KernelSpec(
+    "col_scan", lambda i, p: {"out": i["in"]},
+    flops_per_element=2.0, bytes_per_element=32.0, efficiency=0.8,
+    layout_efficiency={DataLayout.SOA.value: 1.0,
+                       DataLayout.AOP.value: 1.0,
+                       DataLayout.AOS.value: 0.4})
+
+RECORD_KERNEL = KernelSpec(
+    "record_update", lambda i, p: {"out": i["in"]},
+    flops_per_element=16.0, bytes_per_element=32.0, efficiency=0.8,
+    layout_efficiency={DataLayout.AOS.value: 1.0,
+                       DataLayout.SOA.value: 0.7,
+                       DataLayout.AOP.value: 0.6})
+
+
+def _kernel_seconds(kernel, layout):
+    config = ClusterConfig(n_workers=1, cpu=CPUSpec(cores=2),
+                           gpus_per_worker=("c2050",))
+    cluster = GFlinkCluster(config)
+    session = GFlinkSession(cluster)
+    session.register_kernel(kernel)
+    data = np.arange(20_000, dtype=np.float64)
+    ds = session.from_collection(data, element_nbytes=32.0, scale=2e3,
+                                 parallelism=2).persist()
+    ds.materialize()
+    ds.gpu_map_partition(kernel.name, layout=layout).count()
+    return cluster.total_kernel_seconds()
+
+
+def test_ablation_data_layout(benchmark):
+    layouts = (DataLayout.AOS, DataLayout.SOA, DataLayout.AOP)
+
+    def measure():
+        return {
+            "column-scan": {l.name: _kernel_seconds(COLUMN_KERNEL, l)
+                            for l in layouts},
+            "whole-record": {l.name: _kernel_seconds(RECORD_KERNEL, l)
+                             for l in layouts},
+        }
+
+    table = run_once(benchmark, measure)
+    print("\n== Ablation: data layout vs kernel access pattern "
+          "(kernel seconds) ==")
+    print(f"{'kernel':14s} {'AoS':>9} {'SoA':>9} {'AoP':>9}")
+    for kernel, row in table.items():
+        print(f"{kernel:14s} {row['AOS']:>8.4f}s {row['SOA']:>8.4f}s "
+              f"{row['AOP']:>8.4f}s")
+    benchmark.extra_info["kernel_seconds"] = {
+        k: {l: round(v, 5) for l, v in row.items()}
+        for k, row in table.items()}
+
+    # Column scans want SoA; whole-record updates want AoS (§2.1).
+    col = table["column-scan"]
+    assert col["SOA"] < col["AOS"]
+    assert col["AOP"] == col["SOA"]
+    rec = table["whole-record"]
+    assert rec["AOS"] < rec["SOA"] < rec["AOP"]

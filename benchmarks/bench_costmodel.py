@@ -1,0 +1,104 @@
+"""Cross-validation — the §6.3 analytical model vs the discrete-event engine.
+
+The paper derives Eqs. 1–4 and three observations from them; we have both
+the closed-form model (:mod:`repro.core.costmodel`) and the simulator, so we
+can check they agree — a consistency test the paper itself could not run.
+"""
+
+import numpy as np
+
+from conftest import run_once
+from harness import fresh_session
+from repro.core.costmodel import Calibration, map_cpu_time, map_gpu_time, map_speedup
+from repro.flink import ClusterConfig, CPUSpec, OpCost
+from repro.gpu import KernelSpec
+
+KERNEL = KernelSpec(
+    "model_check", lambda i, p: {"out": i["in"]},
+    flops_per_element=100.0, bytes_per_element=8.0, efficiency=0.5)
+
+N_NOMINAL = 2e8
+ELEM_BYTES = 8.0
+CPU_OVERHEAD = 1.0e-6
+
+
+def _measured_speedup():
+    """Map-phase speedup measured by the simulator, 1 core vs 1 GPU."""
+    def span(mode):
+        config = ClusterConfig(n_workers=1,
+                               cpu=CPUSpec(cores=1),
+                               gpus_per_worker=("c2050",))
+        session = fresh_session(config)
+        session.register_kernel(KERNEL)
+        data = np.arange(20_000, dtype=np.float64)
+        ds = session.from_collection(data, element_nbytes=ELEM_BYTES,
+                                     scale=N_NOMINAL / 20_000,
+                                     parallelism=1).persist()
+        ds.materialize()
+        if mode == "cpu":
+            result = ds.map_partition(
+                lambda e: e,
+                cost=OpCost(flops_per_element=KERNEL.flops_per_element,
+                            element_overhead_s=CPU_OVERHEAD),
+                name="m").count()
+        else:
+            result = ds.gpu_map_partition("model_check", name="m").count()
+        return result.metrics.span_of("m").seconds
+
+    return span("cpu"), span("gpu")
+
+
+def test_costmodel_matches_simulation(benchmark):
+    def measure():
+        cpu_s, gpu_s = _measured_speedup()
+        calib = Calibration()
+        # The analytical model with the same constants.
+        predicted_cpu = map_cpu_time(N_NOMINAL, KERNEL.flops_per_element,
+                                     calib) * (
+            (CPU_OVERHEAD + KERNEL.flops_per_element / 4e9)
+            / (calib.flink.element_overhead_s
+               + KERNEL.flops_per_element / 4e9))
+        predicted_gpu = map_gpu_time(
+            N_NOMINAL, KERNEL, in_bytes=N_NOMINAL * ELEM_BYTES,
+            out_bytes=N_NOMINAL * ELEM_BYTES, calib=calib)
+        return cpu_s, gpu_s, predicted_cpu, predicted_gpu
+
+    cpu_s, gpu_s, predicted_cpu, predicted_gpu = run_once(benchmark, measure)
+    print("\n== Cost model (Eq. 3/4) vs simulation, map phase ==")
+    print(f"CPU map: simulated {cpu_s:8.3f} s, model {predicted_cpu:8.3f} s")
+    print(f"GPU map: simulated {gpu_s:8.3f} s, model {predicted_gpu:8.3f} s")
+    measured = cpu_s / gpu_s
+    predicted = predicted_cpu / predicted_gpu
+    print(f"speedup: simulated {measured:6.2f}x, model {predicted:6.2f}x")
+    benchmark.extra_info["comparison"] = {
+        "cpu_sim_s": round(cpu_s, 4), "cpu_model_s": round(predicted_cpu, 4),
+        "gpu_sim_s": round(gpu_s, 4), "gpu_model_s": round(predicted_gpu, 4),
+    }
+
+    # CPU side: the model is exact (same formula) up to task overheads.
+    assert abs(cpu_s - predicted_cpu) / predicted_cpu < 0.01
+    # GPU side: the model ignores pipeline overlap, block granularity and
+    # JNI costs, so the simulator may be faster (overlap) — within 2x and
+    # never slower than the wire-time lower bound.
+    assert gpu_s < predicted_gpu * 1.2
+    wire = 2 * N_NOMINAL * ELEM_BYTES / 3.0e9
+    assert gpu_s > wire * 0.9
+    # Both agree on the headline: an order-of-magnitude class speedup.
+    assert abs(np.log10(measured) - np.log10(predicted)) < 0.35
+
+
+def test_observation2_cache_term(benchmark):
+    """Eq. 4's cached-bytes term matches the simulator's cache behavior."""
+    def measure():
+        calib = Calibration()
+        without = map_speedup(N_NOMINAL, 100.0, KERNEL,
+                              N_NOMINAL * 8, N_NOMINAL * 8, calib)
+        with_cache = map_speedup(N_NOMINAL, 100.0, KERNEL,
+                                 N_NOMINAL * 8, N_NOMINAL * 8, calib,
+                                 cached_in_bytes=N_NOMINAL * 8)
+        return without, with_cache
+
+    without, with_cache = run_once(benchmark, measure)
+    print(f"\nEq.3 speedup without cache {without:.2f}x, "
+          f"with cached input {with_cache:.2f}x")
+    assert with_cache > without

@@ -1,0 +1,40 @@
+"""Fig. 5a — KMeans: average running time and speedup on the cluster.
+
+10 slave nodes, 4 CPUs + 2 Tesla C2050 each; inputs 150–270 M points
+(Table 1).  The paper reports ~5x overall, improving with input size, because
+KMeans is compute-intensive and "only shuffles centers in each iteration".
+"""
+
+from conftest import run_once
+from harness import (
+    assert_mid_size_speedup,
+    assert_speedup_grows_with_size,
+    assert_speedups_in_band,
+    paper_cluster_config,
+    sweep,
+)
+from repro.workloads import KMeansWorkload, table1_sizes
+
+REAL_POINTS = 12_000
+ITERATIONS = 10
+
+
+def test_fig5a_kmeans_cluster(benchmark):
+    config = paper_cluster_config()
+
+    def factory(size):
+        return KMeansWorkload(nominal_elements=size.nominal_elements,
+                              real_elements=REAL_POINTS,
+                              iterations=ITERATIONS)
+
+    report = run_once(benchmark, lambda: sweep(
+        factory, table1_sizes("kmeans"), config,
+        "Fig 5a: KMeans on the cluster (paper: ~5x)"))
+    report.emit(benchmark)
+
+    assert_speedups_in_band(report, low=3.0, high=7.5, paper_value=5.0)
+    assert_mid_size_speedup(report, 5.0)
+    assert_speedup_grows_with_size(report)
+    # CPU time grows roughly linearly with input (compute-bound).
+    cpu = [r.cpu_s for r in report.rows]
+    assert cpu[-1] / cpu[0] > 1.5

@@ -1,0 +1,50 @@
+"""Fig. 5c — WordCount: average running time and speedup on the cluster.
+
+Inputs 24–56 GB of text.  The paper reports only ~1.1x: WordCount is a
+one-pass batch job whose HDFS I/O is the bottleneck, so GPU acceleration of
+the counting barely moves the total.
+"""
+
+from conftest import run_once
+from harness import assert_speedups_in_band, paper_cluster_config, sweep
+from repro.workloads import WordCountWorkload, table1_sizes
+
+REAL_WORDS = 40_000
+
+
+def test_fig5c_wordcount_cluster(benchmark):
+    config = paper_cluster_config()
+
+    def factory(size):
+        return WordCountWorkload(nominal_elements=size.nominal_elements,
+                                 real_elements=REAL_WORDS)
+
+    report = run_once(benchmark, lambda: sweep(
+        factory, table1_sizes("wordcount"), config,
+        "Fig 5c: WordCount on the cluster (paper: ~1.1x)"))
+    report.emit(benchmark)
+
+    assert_speedups_in_band(report, low=1.0, high=1.35, paper_value=1.1)
+    # The GPU path must still not lose.
+    assert all(r.speedup >= 1.0 for r in report.rows)
+
+
+def test_fig5c_wordcount_io_is_bottleneck(benchmark):
+    """§6.5: 'the I/O overhead of WordCount is the bottleneck'."""
+    from harness import run_workload
+
+    config = paper_cluster_config()
+
+    def measure():
+        result = run_workload(lambda: WordCountWorkload(
+            nominal_elements=2.4e9, real_elements=REAL_WORDS), "gpu", config)
+        metrics = result.job_metrics[0]
+        io_bytes = metrics.hdfs_read_bytes + metrics.hdfs_write_bytes
+        return io_bytes, metrics.gpu_kernel_s, result.total_seconds
+
+    io_bytes, kernel_s, total_s = run_once(benchmark, measure)
+    disk_seconds = io_bytes / (10 * 150e6)  # cluster aggregate read rate
+    print(f"\nI/O-bound check: disk~{disk_seconds:.1f}s of "
+          f"{total_s:.1f}s total; GPU kernels {kernel_s:.2f}s")
+    assert disk_seconds > 0.3 * total_s
+    assert kernel_s < 0.1 * total_s

@@ -1,0 +1,62 @@
+"""Fig. 6c — ConnectedComponents: running time and speedup on the cluster.
+
+Inputs 5–25 M pages.  The paper reports ~4.8x — between PageRank (more
+shuffle per iteration) and KMeans (almost none).
+"""
+
+from conftest import run_once
+from harness import (
+    assert_mid_size_speedup,
+    assert_speedup_grows_with_size,
+    assert_speedups_in_band,
+    paper_cluster_config,
+    sweep,
+)
+from repro.workloads import ConnectedComponentsWorkload, table1_sizes
+
+REAL_PAGES = 2_000
+ITERATIONS = 10
+
+
+def test_fig6c_connected_components_cluster(benchmark):
+    config = paper_cluster_config()
+
+    def factory(size):
+        return ConnectedComponentsWorkload(
+            nominal_pages=size.nominal_elements, real_pages=REAL_PAGES,
+            iterations=ITERATIONS)
+
+    report = run_once(benchmark, lambda: sweep(
+        factory, table1_sizes("connected_components"), config,
+        "Fig 6c: ConnectedComponents on the cluster (paper: ~4.8x)"))
+    report.emit(benchmark)
+
+    assert_speedups_in_band(report, low=2.1, high=6.6, paper_value=4.8)
+    assert_mid_size_speedup(report, 4.8)
+    assert_speedup_grows_with_size(report)
+
+
+def test_fig6c_ordering_between_pagerank_and_kmeans(benchmark):
+    """Fig. 5/6 ordering: PageRank < ConnectedComponents < LinearRegression."""
+    from harness import run_workload
+    from repro.workloads import LinearRegressionWorkload, PageRankWorkload
+
+    config = paper_cluster_config()
+
+    def measure():
+        def speedup(factory):
+            cpu = run_workload(factory, "cpu", config).total_seconds
+            gpu = run_workload(factory, "gpu", config).total_seconds
+            return cpu / gpu
+
+        cc = speedup(lambda: ConnectedComponentsWorkload(
+            nominal_pages=15e6, real_pages=REAL_PAGES, iterations=5))
+        pr = speedup(lambda: PageRankWorkload(
+            nominal_pages=15e6, real_pages=REAL_PAGES, iterations=5))
+        lr = speedup(lambda: LinearRegressionWorkload(
+            nominal_elements=210e6, real_elements=12_000, iterations=5))
+        return pr, cc, lr
+
+    pr, cc, lr = run_once(benchmark, measure)
+    print(f"\npagerank {pr:.2f}x < concomp {cc:.2f}x < linreg {lr:.2f}x")
+    assert pr < cc < lr

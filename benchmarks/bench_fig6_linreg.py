@@ -1,0 +1,60 @@
+"""Fig. 6b — LinearRegression: running time and speedup on the cluster.
+
+Inputs 150–270 M samples.  The paper's largest factor (~9.2x): the workload
+"is bounded by calculations on each data point", all of which move to the
+GPU, and only a DIM-sized gradient returns per partition.
+"""
+
+from conftest import run_once
+from harness import (
+    assert_mid_size_speedup,
+    assert_speedup_grows_with_size,
+    assert_speedups_in_band,
+    paper_cluster_config,
+    sweep,
+)
+from repro.workloads import LinearRegressionWorkload, table1_sizes
+
+REAL_SAMPLES = 12_000
+ITERATIONS = 10
+
+
+def test_fig6b_linear_regression_cluster(benchmark):
+    config = paper_cluster_config()
+
+    def factory(size):
+        return LinearRegressionWorkload(
+            nominal_elements=size.nominal_elements,
+            real_elements=REAL_SAMPLES, iterations=ITERATIONS)
+
+    report = run_once(benchmark, lambda: sweep(
+        factory, table1_sizes("linear_regression"), config,
+        "Fig 6b: LinearRegression on the cluster (paper: ~9.2x)"))
+    report.emit(benchmark)
+
+    assert_speedups_in_band(report, low=6.5, high=11.0, paper_value=9.2)
+    assert_mid_size_speedup(report, 9.2)
+    assert_speedup_grows_with_size(report)
+
+
+def test_fig6b_linreg_is_the_best_case(benchmark):
+    """LinearRegression's speedup exceeds KMeans' at the same input size
+    (Fig. 5a vs 6b), because its reduce side is a single DIM-vector."""
+    from harness import run_workload
+    from repro.workloads import KMeansWorkload
+
+    config = paper_cluster_config()
+
+    def measure():
+        n = 210e6
+        lr = {m: run_workload(lambda: LinearRegressionWorkload(
+            nominal_elements=n, real_elements=REAL_SAMPLES, iterations=5),
+            m, config).total_seconds for m in ("cpu", "gpu")}
+        km = {m: run_workload(lambda: KMeansWorkload(
+            nominal_elements=n, real_elements=REAL_SAMPLES, iterations=5),
+            m, config).total_seconds for m in ("cpu", "gpu")}
+        return lr["cpu"] / lr["gpu"], km["cpu"] / km["gpu"]
+
+    lr_speedup, km_speedup = run_once(benchmark, measure)
+    print(f"\nlinreg {lr_speedup:.2f}x vs kmeans {km_speedup:.2f}x")
+    assert lr_speedup > km_speedup

@@ -1,0 +1,78 @@
+"""Fig. 7c/7d — Average running time vs number of slave nodes.
+
+Fixed 10 GB input, slaves varying 1..10: "The running time on CPUs decreases
+rapidly along with the increase of the number of slave nodes, while the
+running time on GPUs decreases slowly ... the overhead caused by I/O,
+communication over networks, task scheduling and system invoking rather than
+the computation has become the bottleneck [for GPUs]."
+"""
+
+from repro.common.units import GB
+
+from conftest import run_once
+from harness import FigureReport, fresh_session, paper_cluster_config
+from repro.workloads import KMeansWorkload, SpMVWorkload
+
+NODE_COUNTS = [1, 2, 4, 6, 8, 10]
+
+
+def _scaling_curves(factory, iterations):
+    """Average *per-iteration* time (the figures' y-axis: "average running
+    time ... for an iteration"), taken over the steady middle iterations."""
+    curves = {"cpu": [], "gpu": []}
+    for n in NODE_COUNTS:
+        config = paper_cluster_config(n_workers=n)
+        for mode in ("cpu", "gpu"):
+            result = factory().run(fresh_session(config), mode)
+            mids = result.iteration_seconds[1:-1]
+            curves[mode].append(sum(mids) / len(mids))
+    return curves
+
+
+def _check_fig7cd_shape(curves):
+    cpu, gpu = curves["cpu"], curves["gpu"]
+    # CPU falls rapidly with nodes; GPU only slowly.
+    cpu_gain = cpu[0] / cpu[-1]
+    gpu_gain = gpu[0] / gpu[-1]
+    assert cpu_gain > 3.0, f"CPU should scale well, got {cpu_gain:.2f}x"
+    assert gpu_gain < cpu_gain / 2, (
+        f"GPU curve should be much flatter: {gpu_gain:.2f} vs {cpu_gain:.2f}")
+    # Monotone non-increasing curves (within 2% noise).
+    for series in (cpu, gpu):
+        for a, b in zip(series, series[1:]):
+            assert b <= a * 1.02
+    # GPU under CPU at every point.
+    assert all(g < c for c, g in zip(cpu, gpu))
+
+
+def _emit(title, curves, benchmark):
+    print(f"\n== {title} ==")
+    print("nodes " + "  ".join(f"{n:>8d}" for n in NODE_COUNTS))
+    for mode in ("cpu", "gpu"):
+        print(f"{mode:5s} " + "  ".join(f"{t:8.2f}" for t in curves[mode]))
+    benchmark.extra_info["curves"] = {
+        "nodes": NODE_COUNTS,
+        "cpu_s": [round(t, 3) for t in curves["cpu"]],
+        "gpu_s": [round(t, 3) for t in curves["gpu"]],
+    }
+
+
+def test_fig7c_kmeans_scaling(benchmark):
+    # "the same matrix data size (10 GB)": 10 GB of 8-byte points.
+    n_points = 10 * GB / 8.0
+
+    curves = run_once(benchmark, lambda: _scaling_curves(
+        lambda: KMeansWorkload(nominal_elements=n_points,
+                               real_elements=12_000, iterations=5), 5))
+    _emit("Fig 7c: KMeans vs #slave nodes (10 GB)", curves, benchmark)
+    _check_fig7cd_shape(curves)
+
+
+def test_fig7d_spmv_scaling(benchmark):
+    n_rows = 10 * GB / 192.0
+
+    curves = run_once(benchmark, lambda: _scaling_curves(
+        lambda: SpMVWorkload(nominal_elements=n_rows, real_elements=8_000,
+                             iterations=5), 5))
+    _emit("Fig 7d: SpMV vs #slave nodes (10 GB)", curves, benchmark)
+    _check_fig7cd_shape(curves)

@@ -1,0 +1,140 @@
+"""Shared benchmark harness.
+
+Each ``bench_*.py`` module regenerates one table or figure of the paper.
+The *measurement* is simulated cluster time (the quantity the paper plots);
+pytest-benchmark additionally records the host-side cost of running the
+simulation.  Every bench
+
+* prints the paper-style rows/series (visible with ``pytest -s`` and stored
+  in ``benchmark.extra_info`` for the JSON report), and
+* asserts the qualitative shape the paper reports (who wins, by roughly what
+  factor, where the crossovers are), so a regression in the model fails CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core import GFlinkCluster, GFlinkSession
+from repro.flink import ClusterConfig, CPUSpec
+from repro.workloads.base import WorkloadResult
+
+#: The paper's testbed: 10 slaves, each an i5-4590 (4 cores @3.3 GHz) with
+#: two Tesla C2050 GPUs (§6.1, §6.5).
+PAPER_GPUS = ("c2050", "c2050")
+
+
+def paper_cluster_config(n_workers: int = 10,
+                         gpus: Sequence[str] = PAPER_GPUS) -> ClusterConfig:
+    """The evaluation cluster of §6.5 (scaled by ``n_workers``)."""
+    return ClusterConfig(n_workers=n_workers, cpu=CPUSpec(),
+                         gpus_per_worker=tuple(gpus))
+
+
+def fresh_session(config: ClusterConfig) -> GFlinkSession:
+    """A new cluster + session (no state shared between experiment points)."""
+    return GFlinkSession(GFlinkCluster(config))
+
+
+@dataclass
+class Row:
+    """One line of a paper-style results table."""
+
+    label: str
+    cpu_s: float
+    gpu_s: float
+
+    @property
+    def speedup(self) -> float:
+        return self.cpu_s / self.gpu_s if self.gpu_s > 0 else float("inf")
+
+
+@dataclass
+class FigureReport:
+    """Collected rows for one table/figure, with pretty printing."""
+
+    title: str
+    rows: List[Row] = field(default_factory=list)
+
+    def add(self, label: str, cpu_s: float, gpu_s: float) -> Row:
+        row = Row(label, cpu_s, gpu_s)
+        self.rows.append(row)
+        return row
+
+    def speedups(self) -> List[float]:
+        return [r.speedup for r in self.rows]
+
+    def render(self) -> str:
+        width = max((len(r.label) for r in self.rows), default=10)
+        lines = [f"\n== {self.title} ==",
+                 f"{'input':<{width}}  {'Flink (CPU)':>12}  "
+                 f"{'GFlink (GPU)':>12}  {'speedup':>8}"]
+        for r in self.rows:
+            lines.append(f"{r.label:<{width}}  {r.cpu_s:>10.2f} s  "
+                         f"{r.gpu_s:>10.2f} s  {r.speedup:>7.2f}x")
+        return "\n".join(lines)
+
+    def emit(self, benchmark=None) -> None:
+        print(self.render())
+        if benchmark is not None:
+            benchmark.extra_info["table"] = [
+                {"label": r.label, "cpu_s": round(r.cpu_s, 3),
+                 "gpu_s": round(r.gpu_s, 3),
+                 "speedup": round(r.speedup, 3)}
+                for r in self.rows
+            ]
+
+
+def run_workload(workload_factory: Callable[[], object], mode: str,
+                 config: ClusterConfig,
+                 session: Optional[GFlinkSession] = None) -> WorkloadResult:
+    """Run one workload in one mode on a fresh (or given) cluster."""
+    session = session or fresh_session(config)
+    return workload_factory().run(session, mode)
+
+
+def sweep(workload_factory: Callable[[object], object],
+          sizes: Sequence[object], config: ClusterConfig,
+          title: str) -> FigureReport:
+    """CPU-vs-GPU sweep over Table 1 sizes → one figure report."""
+    report = FigureReport(title)
+    for size in sizes:
+        cpu = run_workload(lambda: workload_factory(size), "cpu", config)
+        gpu = run_workload(lambda: workload_factory(size), "gpu", config)
+        report.add(size.label, cpu.total_seconds, gpu.total_seconds)
+    return report
+
+
+def assert_speedups_in_band(report: FigureReport, low: float, high: float,
+                            paper_value: float) -> None:
+    """The sweep's speedups must bracket the paper's reported factor."""
+    speedups = report.speedups()
+    assert all(low <= s <= high for s in speedups), (
+        f"{report.title}: speedups {speedups} outside [{low}, {high}] "
+        f"(paper reports ~{paper_value}x)")
+
+
+def assert_mid_size_speedup(report: FigureReport, paper_value: float,
+                            rel: float = 0.30) -> None:
+    """The middle input size must land within ``rel`` of the paper's factor.
+
+    (The paper quotes a single per-benchmark number; its sweeps also fan out
+    around it, smallest inputs being overhead-bound per Observation 3.)
+    """
+    mid = report.rows[len(report.rows) // 2].speedup
+    assert abs(mid - paper_value) / paper_value <= rel, (
+        f"{report.title}: mid-size speedup {mid:.2f}x vs paper "
+        f"~{paper_value}x (tolerance {rel:.0%})")
+
+
+def assert_speedup_grows_with_size(report: FigureReport,
+                                   tolerance: float = 0.98) -> None:
+    """Observation 3: larger inputs amortize fixed overheads."""
+    speedups = report.speedups()
+    for smaller, larger in zip(speedups, speedups[1:]):
+        assert larger >= smaller * tolerance, (
+            f"{report.title}: speedup fell from {smaller:.2f} to "
+            f"{larger:.2f} as input grew")
+    assert speedups[-1] > speedups[0], (
+        f"{report.title}: speedup did not grow with input size")

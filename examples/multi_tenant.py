@@ -1,0 +1,61 @@
+"""Multi-tenant GPU sharing — the paper's §6.6.4 concurrency experiment.
+
+Three applications (KMeans, SpMV, PointAdd) are submitted simultaneously to
+one heterogeneous cluster.  Their Flink tasks produce GWork; the shared
+GPUs' GStreams consume it (producer-consumer decoupling, §5), with each
+application owning its own GPU cache regions.
+
+Run:  python examples/multi_tenant.py
+"""
+
+from repro.core import GFlinkCluster, GFlinkSession
+from repro.flink import ClusterConfig, CPUSpec
+from repro.workloads import (
+    KMeansWorkload,
+    PointAddWorkload,
+    SpMVWorkload,
+    run_concurrent,
+)
+
+
+def make_apps():
+    return [
+        (KMeansWorkload(nominal_elements=40e6, real_elements=6_000,
+                        iterations=4), "gpu"),
+        (SpMVWorkload(nominal_elements=4e6, real_elements=6_000,
+                      iterations=4), "gpu"),
+        (PointAddWorkload(nominal_elements=40e6, real_elements=6_000,
+                          iterations=4), "gpu"),
+    ]
+
+
+def main():
+    config = ClusterConfig(n_workers=1, cpu=CPUSpec(cores=4),
+                           gpus_per_worker=("c2050", "c2050"))
+
+    # Exclusive: each app alone on a fresh cluster.
+    exclusive = {}
+    for workload, mode in make_apps():
+        cluster = GFlinkCluster(config)
+        result = workload.run(GFlinkSession(cluster), mode)
+        exclusive[workload.name] = result.total_seconds
+
+    # Concurrent: all three share one cluster's slots, GPUs, disks.
+    cluster = GFlinkCluster(config)
+    concurrent = {r.name: r.total_seconds
+                  for r in run_concurrent(cluster, make_apps())}
+
+    print("Three applications on one node (4 cores + 2x C2050)")
+    print(f"{'app':10s} {'exclusive':>10} {'concurrent':>11} {'slowdown':>9}")
+    for name, e in exclusive.items():
+        c = concurrent[name]
+        print(f"{name:10s} {e:>9.2f}s {c:>10.2f}s {c / e:>8.2f}x")
+    makespan = max(concurrent.values())
+    print(f"joint makespan {makespan:.2f} s vs {sum(exclusive.values()):.2f} "
+          f"s if run back to back —")
+    print("the GPUs are time-shared safely: every app still computes its "
+          "exact result\n(per-application cache regions, §4.2.2).")
+
+
+if __name__ == "__main__":
+    main()

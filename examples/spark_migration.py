@@ -1,0 +1,68 @@
+"""Migrating a GFlink program to Spark — §3.6 of the paper, demonstrated.
+
+"An important thinking of designing GFlink is to make migration from Flink
+to Spark easier ... Our proposed programming framework is also suitable for
+Spark."  The CUDAWrapper/CUDAStub stack, the GStruct off-heap layout, and
+the producer-consumer GWork scheme are all engine-agnostic, so the same
+GPU kernels and the same cluster serve an RDD-style driver unchanged.
+
+Run:  python examples/spark_migration.py
+"""
+
+import numpy as np
+
+from repro.compat import SparkContext
+from repro.core import GFlinkCluster, GFlinkSession
+from repro.flink import ClusterConfig, CPUSpec
+from repro.gpu import KernelSpec
+
+
+def make_cluster():
+    return GFlinkCluster(ClusterConfig(
+        n_workers=2, cpu=CPUSpec(cores=4),
+        gpus_per_worker=("c2050", "c2050")))
+
+
+SAXPY = KernelSpec(
+    "saxpy", lambda bufs, p: {"out": p["a"] * bufs["in"] + p["b"]},
+    flops_per_element=2.0, bytes_per_element=16.0, efficiency=0.5)
+
+
+def flink_style(cluster, data):
+    """The GFlink (DataSet) driver."""
+    session = GFlinkSession(cluster)
+    session.register_kernel(SAXPY)
+    ds = session.from_collection(data, element_nbytes=8.0,
+                                 scale=1e3).persist()
+    ds.materialize()
+    result = ds.gpu_map_partition("saxpy", params={"a": 3.0, "b": 1.0}) \
+        .collect()
+    return sorted(result.value), result.seconds
+
+
+def spark_style(cluster, data):
+    """The same application through the RDD facade — same GPUs underneath."""
+    sc = SparkContext(cluster, app_name="migrated-app")
+    sc.register_kernel(SAXPY)
+    rdd = sc.parallelize(data, element_nbytes=8.0, scale=1e3).cache()
+    rdd.count()  # materialize, as the Flink driver did
+    values = rdd.gpu_map_partitions("saxpy",
+                                    params={"a": 3.0, "b": 1.0}).collect()
+    return sorted(values), sc.last_job_metrics.makespan
+
+
+def main():
+    data = np.arange(20_000, dtype=np.float64)
+    flink_values, flink_s = flink_style(make_cluster(), data)
+    spark_values, spark_s = spark_style(make_cluster(), data)
+
+    assert np.allclose(flink_values, spark_values)
+    print("saxpy over 20M (nominal) points, two drivers, one GPU stack:")
+    print(f"  GFlink DataSet driver : {flink_s:6.2f} simulated s")
+    print(f"  RDD (Spark) driver    : {spark_s:6.2f} simulated s")
+    print("  identical results, identical kernels, identical GPUManagers —")
+    print("  the §3.6 migration story: only the driver API changed.")
+
+
+if __name__ == "__main__":
+    main()

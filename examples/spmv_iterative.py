@@ -1,0 +1,50 @@
+"""Iterative SpMV and the GPU cache — the paper's §6.6.1 / Fig. 8a story.
+
+A 1 GB matrix (ELLPACK GStruct rows) is multiplied against an evolving
+vector for ten iterations on a single machine.  With the GPU cache on, the
+matrix is uploaded once and iterations 2..9 collapse; with it off, every
+iteration re-pays the PCIe transfer.
+
+Run:  python examples/spmv_iterative.py
+"""
+
+from repro.common.units import GB
+from repro.core import GFlinkCluster, GFlinkSession
+from repro.flink import ClusterConfig, CPUSpec
+from repro.workloads import SpMVWorkload
+
+
+def run(gpu_cache: bool):
+    config = ClusterConfig(n_workers=1, cpu=CPUSpec(cores=4),
+                           gpus_per_worker=("c2050", "c2050"))
+    cluster = GFlinkCluster(config)
+    workload = SpMVWorkload(nominal_elements=(1 * GB) / 192.0,
+                            real_elements=10_000, iterations=10,
+                            gpu_cache=gpu_cache)
+    result = workload.run(GFlinkSession(cluster), "gpu")
+    pcie = [m.pcie_bytes for m in result.job_metrics
+            if m.job_name.startswith("spmv-gpu-iter")]
+    return result, pcie
+
+
+def main():
+    cached, cached_pcie = run(gpu_cache=True)
+    uncached, uncached_pcie = run(gpu_cache=False)
+
+    print("SpMV, 1 GB matrix, single machine with 2x C2050")
+    print(f"{'iter':>4}  {'cache on':>9}  {'cache off':>9}   "
+          f"{'PCIe on':>9}  {'PCIe off':>9}")
+    for i in range(len(cached.iteration_seconds)):
+        print(f"{i + 1:>4}  {cached.iteration_seconds[i]:>7.2f} s  "
+              f"{uncached.iteration_seconds[i]:>7.2f} s   "
+              f"{cached_pcie[i] / 1e6:>6.0f} MB  "
+              f"{uncached_pcie[i] / 1e6:>6.0f} MB")
+    print(f"total: {cached.total_seconds:.2f} s vs "
+          f"{uncached.total_seconds:.2f} s without the cache "
+          f"({uncached.total_seconds / cached.total_seconds:.2f}x)")
+    print("after iteration 1 the cached run moves only the vector and the "
+          "result over PCIe; the matrix stays resident (paper §4.2.2).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""WordCount: a classic batch pipeline, and why its GPU speedup is ~1.1x.
+
+Builds the full DataSet pipeline by hand — read from HDFS, tokenize,
+count, shuffle, write back — on both engines, then breaks down where the
+time goes (paper §6.5: "the I/O overhead of WordCount is the bottleneck").
+
+Run:  python examples/wordcount_pipeline.py
+"""
+
+from repro.common.units import GB
+from repro.core import GFlinkCluster, GFlinkSession
+from repro.flink import ClusterConfig, CPUSpec
+from repro.workloads import WordCountWorkload
+
+
+def main():
+    config = ClusterConfig(n_workers=10, cpu=CPUSpec(cores=4),
+                           gpus_per_worker=("c2050", "c2050"))
+
+    results = {}
+    for mode in ("cpu", "gpu"):
+        cluster = GFlinkCluster(config)
+        workload = WordCountWorkload(
+            nominal_elements=(24 * GB) / 10.0,  # 24 GB of ~10-byte words
+            real_elements=50_000)
+        results[mode] = workload.run(GFlinkSession(cluster), mode)
+
+    print("WordCount, 24 GB corpus, 10 workers")
+    for mode in ("cpu", "gpu"):
+        result = results[mode]
+        metrics = result.job_metrics[0]
+        disk_s = (metrics.hdfs_read_bytes + metrics.hdfs_write_bytes) \
+            / (10 * 150e6)
+        engine = "Flink (CPU) " if mode == "cpu" else "GFlink (GPU)"
+        print(f"  {engine}: {result.total_seconds:6.2f} s total "
+              f"(~{disk_s:5.2f} s aggregate disk, "
+              f"{metrics.shuffle_bytes / 1e6:6.1f} MB shuffled, "
+              f"GPU kernels {metrics.gpu_kernel_s:5.2f} s)")
+    speedup = results["cpu"].total_seconds / results["gpu"].total_seconds
+    print(f"  speedup: {speedup:.2f}x — the paper reports ~1.1x: a one-pass "
+          f"batch job is I/O-bound,\n  so accelerating the counting barely "
+          f"moves the total.")
+
+
+if __name__ == "__main__":
+    main()

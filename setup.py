@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment is offline and lacks the ``wheel`` package, so
+PEP 517 editable installs (which need ``bdist_wheel``) fail.  Keeping a
+``setup.py`` lets ``pip install -e .`` fall back to the legacy
+``setup.py develop`` path, which works with the pinned setuptools.
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,142 @@
+"""Command-line interface: run workloads and inspect the calibration.
+
+Examples::
+
+    python -m repro list
+    python -m repro run kmeans --mode gpu --workers 10 --iterations 8
+    python -m repro run spmv --mode both --nominal 1e7
+    python -m repro specs
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, Optional
+
+from repro.core import GFlinkCluster, GFlinkSession
+from repro.flink import ClusterConfig, CPUSpec
+from repro.gpu.specs import SPECS
+from repro.workloads import (
+    ConnectedComponentsWorkload,
+    KMeansWorkload,
+    LinearRegressionWorkload,
+    PageRankWorkload,
+    PointAddWorkload,
+    SpMVWorkload,
+    WordCountWorkload,
+)
+from repro.workloads.base import Workload
+
+#: name -> (workload class, default nominal size, size parameter name)
+WORKLOADS: Dict[str, tuple] = {
+    "kmeans": (KMeansWorkload, 210e6, "nominal_elements"),
+    "linreg": (LinearRegressionWorkload, 210e6, "nominal_elements"),
+    "spmv": (SpMVWorkload, 8e9 / 192.0, "nominal_elements"),
+    "pagerank": (PageRankWorkload, 15e6, "nominal_pages"),
+    "concomp": (ConnectedComponentsWorkload, 15e6, "nominal_pages"),
+    "wordcount": (WordCountWorkload, 4e9, "nominal_elements"),
+    "pointadd": (PointAddWorkload, 100e6, "nominal_elements"),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GFlink reproduction: simulated CPU-GPU cluster runs")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run one workload")
+    run.add_argument("workload", choices=sorted(WORKLOADS))
+    run.add_argument("--mode", choices=("cpu", "gpu", "both"),
+                     default="both")
+    run.add_argument("--workers", type=int, default=10,
+                     help="slave nodes (default: the paper's 10)")
+    run.add_argument("--gpus", default="c2050,c2050",
+                     help="comma-separated GPU specs per worker")
+    run.add_argument("--iterations", type=int, default=None)
+    run.add_argument("--nominal", type=float, default=None,
+                     help="nominal input size (elements or pages)")
+    run.add_argument("--real", type=int, default=12_000,
+                     help="in-memory sample size")
+    run.add_argument("--seed", type=int, default=None)
+
+    sub.add_parser("list", help="list available workloads")
+    sub.add_parser("specs", help="show the GPU spec catalog")
+    return parser
+
+
+def _make_workload(name: str, args) -> Workload:
+    cls, default_nominal, size_param = WORKLOADS[name]
+    kwargs = {size_param: args.nominal or default_nominal}
+    if name in ("pagerank", "concomp"):
+        kwargs["real_pages"] = args.real
+    else:
+        kwargs["real_elements"] = args.real
+    if args.iterations is not None and name != "wordcount":
+        kwargs["iterations"] = args.iterations
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    return cls(**kwargs)
+
+
+def _cmd_run(args, out) -> int:
+    gpus = tuple(g for g in args.gpus.split(",") if g)
+    modes = ("cpu", "gpu") if args.mode == "both" else (args.mode,)
+    results = {}
+    for mode in modes:
+        config = ClusterConfig(n_workers=args.workers, cpu=CPUSpec(),
+                               gpus_per_worker=gpus if mode == "gpu" else
+                               gpus)
+        cluster = GFlinkCluster(config)
+        workload = _make_workload(args.workload, args)
+        results[mode] = workload.run(GFlinkSession(cluster), mode)
+
+    print(f"workload={args.workload} workers={args.workers} "
+          f"gpus/worker={list(gpus)}", file=out)
+    for mode, result in results.items():
+        iters = "  ".join(f"{t:7.2f}" for t in result.iteration_seconds)
+        print(f"  {mode:3s} total {result.total_seconds:9.2f} s | "
+              f"per-iteration: {iters}", file=out)
+    if len(results) == 2:
+        speedup = (results["cpu"].total_seconds
+                   / results["gpu"].total_seconds)
+        print(f"  speedup: {speedup:.2f}x", file=out)
+    return 0
+
+
+def _cmd_list(out) -> int:
+    print("available workloads (paper Table 1):", file=out)
+    for name, (cls, nominal, size_param) in sorted(WORKLOADS.items()):
+        print(f"  {name:10s} {cls.__name__:32s} "
+              f"default {size_param}={nominal:.3g}", file=out)
+    return 0
+
+
+def _cmd_specs(out) -> int:
+    print(f"{'name':8s} {'SMs':>4} {'SP GFLOP/s':>11} {'mem':>7} "
+          f"{'mem BW':>9} {'PCIe':>9} {'engines':>8}", file=out)
+    for name, spec in sorted(SPECS.items()):
+        print(f"{name:8s} {spec.sm_count:>4} {spec.sp_gflops:>11.0f} "
+              f"{spec.mem_bytes / 2**30:>5.0f}GB "
+              f"{spec.mem_bandwidth_bps / 1e9:>7.0f}GB/s "
+              f"{spec.pcie_effective_bps / 1e9:>7.1f}GB/s "
+              f"{spec.copy_engines:>8}", file=out)
+    return 0
+
+
+def main(argv: Optional[list] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    if args.command == "run":
+        return _cmd_run(args, out)
+    if args.command == "list":
+        return _cmd_list(out)
+    if args.command == "specs":
+        return _cmd_specs(out)
+    return 2  # pragma: no cover - argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

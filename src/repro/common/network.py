@@ -1,0 +1,107 @@
+"""Cluster network model.
+
+The testbed in the paper is a commodity GbE/10GbE cluster; what matters to the
+evaluation is that shuffles and remote HDFS reads cost time proportional to
+bytes moved and queue behind other traffic on the same NIC.  We model each
+node with one full-duplex NIC: an egress port and an ingress port, each a
+unit-capacity :class:`~repro.common.resources.Resource` drained at the
+configured bandwidth.  A transfer holds the sender's egress port and the
+receiver's ingress port for ``bytes / bandwidth`` plus a fixed round-trip
+latency.  Loopback transfers are free except for a small in-memory copy cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator
+
+from repro.common.errors import ConfigError
+from repro.common.resources import Resource
+from repro.common.simclock import Environment, Event
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Network calibration constants.
+
+    bandwidth_bps
+        Per-NIC bandwidth in bytes/second (full duplex, per direction).
+    latency_s
+        Fixed per-transfer setup latency (TCP round trip, framing).
+    loopback_bps
+        Effective memcpy bandwidth for same-node "transfers".
+    """
+
+    bandwidth_bps: float = 1.0e9  # ~10 GbE effective
+    latency_s: float = 150e-6
+    loopback_bps: float = 8.0e9
+
+
+class _Port:
+    """One direction of a node's NIC."""
+
+    def __init__(self, env: Environment):
+        self.lock = Resource(env, capacity=1)
+        self.bytes_moved = 0
+
+
+class Network:
+    """Point-to-point transfers among a fixed set of named nodes."""
+
+    def __init__(self, env: Environment, node_names: list[str],
+                 config: NetworkConfig | None = None):
+        if len(set(node_names)) != len(node_names):
+            raise ConfigError(f"duplicate node names: {node_names}")
+        self.env = env
+        self.config = config or NetworkConfig()
+        self._egress: Dict[str, _Port] = {n: _Port(env) for n in node_names}
+        self._ingress: Dict[str, _Port] = {n: _Port(env) for n in node_names}
+
+    @property
+    def nodes(self) -> list[str]:
+        return list(self._egress)
+
+    def add_node(self, name: str) -> None:
+        """Register a node added after construction (e.g. elastic workers)."""
+        if name in self._egress:
+            raise ConfigError(f"node {name!r} already registered")
+        self._egress[name] = _Port(self.env)
+        self._ingress[name] = _Port(self.env)
+
+    def transfer(self, src: str, dst: str,
+                 nbytes: int) -> Generator[Event, None, None]:
+        """Simulation process: move ``nbytes`` from ``src`` to ``dst``.
+
+        Charges wire time on both endpoints' ports; a loopback transfer is
+        charged at memcpy speed without touching the NIC.
+        """
+        if nbytes < 0:
+            raise ValueError(f"negative transfer size: {nbytes}")
+        if src not in self._egress:
+            raise ConfigError(f"unknown source node {src!r}")
+        if dst not in self._ingress:
+            raise ConfigError(f"unknown destination node {dst!r}")
+        if src == dst:
+            yield self.env.timeout(nbytes / self.config.loopback_bps)
+            return
+        out_port = self._egress[src]
+        in_port = self._ingress[dst]
+        out_req = out_port.lock.request()
+        in_req = in_port.lock.request()
+        yield self.env.all_of([out_req, in_req])
+        try:
+            wire = nbytes / self.config.bandwidth_bps
+            yield self.env.timeout(self.config.latency_s + wire)
+            out_port.bytes_moved += nbytes
+            in_port.bytes_moved += nbytes
+        finally:
+            out_port.lock.release(out_req)
+            in_port.lock.release(in_req)
+
+    def bytes_sent(self, node: str) -> int:
+        """Total bytes this node has put on the wire (excludes loopback)."""
+        return self._egress[node].bytes_moved
+
+    def bytes_received(self, node: str) -> int:
+        """Total bytes this node has taken off the wire (excludes loopback)."""
+        return self._ingress[node].bytes_moved

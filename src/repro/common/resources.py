@@ -1,0 +1,222 @@
+"""Shared-resource primitives for the simulation kernel.
+
+* :class:`Resource` — ``capacity`` interchangeable servers (CPU slots, DMA
+  copy engines, network links modeled as unit servers).
+* :class:`PriorityResource` — like :class:`Resource` but the wait queue is
+  ordered by a numeric priority (lower first), FIFO within a priority.
+* :class:`Store` — an unbounded-or-bounded FIFO buffer of Python objects
+  (work queues, mailboxes).
+* :class:`FilterStore` — a store whose consumers take the first item matching
+  a predicate (used by the locality-aware work stealing pool).
+
+All follow the SimPy convention: ``request()`` / ``get()`` / ``put()`` return
+events to ``yield`` on, and requests act as context managers that release on
+exit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.common.errors import ResourceError
+from repro.common.simclock import Environment, Event
+
+
+class Request(Event):
+    """A pending or granted claim on a :class:`Resource` slot."""
+
+    __slots__ = ("resource", "priority", "_order")
+
+    def __init__(self, resource: "Resource", priority: int = 0):
+        super().__init__(resource.env)
+        self.resource = resource
+        self.priority = priority
+        resource._order += 1
+        self._order = resource._order
+        resource._request(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.resource.release(self)
+
+    def cancel(self) -> None:
+        """Withdraw a not-yet-granted request from the wait queue."""
+        if not self.triggered:
+            try:
+                self.resource._queue.remove(self)
+            except ValueError:
+                pass
+
+
+class Resource:
+    """``capacity`` identical servers with a FIFO wait queue."""
+
+    def __init__(self, env: Environment, capacity: int = 1):
+        if capacity < 1:
+            raise ResourceError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.users: list[Request] = []
+        self._queue: list[Request] = []
+        self._order = 0
+
+    # -- public API -----------------------------------------------------------
+    def request(self, priority: int = 0) -> Request:
+        """Claim a slot; the returned event fires when the slot is granted."""
+        return Request(self, priority)
+
+    def release(self, request: Request) -> None:
+        """Return a granted slot (idempotent for convenience in finally blocks)."""
+        if request in self.users:
+            self.users.remove(request)
+            self._grant_next()
+        else:
+            request.cancel()
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently in use."""
+        return len(self.users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of requests waiting for a slot."""
+        return len(self._queue)
+
+    # -- internals --------------------------------------------------------------
+    def _request(self, request: Request) -> None:
+        if len(self.users) < self.capacity:
+            self.users.append(request)
+            request.succeed(request)
+        else:
+            self._enqueue(request)
+
+    def _enqueue(self, request: Request) -> None:
+        self._queue.append(request)
+
+    def _grant_next(self) -> None:
+        if self._queue and len(self.users) < self.capacity:
+            request = self._dequeue()
+            self.users.append(request)
+            request.succeed(request)
+
+    def _dequeue(self) -> Request:
+        return self._queue.pop(0)
+
+
+class PriorityResource(Resource):
+    """A :class:`Resource` whose waiters are served lowest-priority-value first."""
+
+    def _dequeue(self) -> Request:
+        best = min(self._queue, key=lambda r: (r.priority, r._order))
+        self._queue.remove(best)
+        return best
+
+
+class StorePut(Event):
+    """Pending insertion into a :class:`Store`."""
+
+    __slots__ = ("item",)
+
+    def __init__(self, store: "Store", item: Any):
+        super().__init__(store.env)
+        self.item = item
+
+
+class StoreGet(Event):
+    """Pending removal from a :class:`Store`."""
+
+    __slots__ = ("filter",)
+
+    def __init__(self, store: "Store",
+                 filter: Optional[Callable[[Any], bool]] = None):
+        super().__init__(store.env)
+        self.filter = filter
+
+
+class Store:
+    """FIFO object buffer with optional capacity bound."""
+
+    def __init__(self, env: Environment, capacity: float = float("inf")):
+        if capacity <= 0:
+            raise ResourceError(f"capacity must be positive, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self.items: list[Any] = []
+        self._putters: list[StorePut] = []
+        self._getters: list[StoreGet] = []
+
+    def put(self, item: Any) -> StorePut:
+        """Insert ``item``; the event fires once there is room."""
+        event = StorePut(self, item)
+        self._putters.append(event)
+        self._dispatch()
+        return event
+
+    def get(self) -> StoreGet:
+        """Remove the oldest item; the event fires with the item as value."""
+        event = StoreGet(self)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    # -- internals ----------------------------------------------------------------
+    def _dispatch(self) -> None:
+        progress = True
+        while progress:
+            progress = False
+            # Move waiting putters into the buffer while there is room.
+            while self._putters and len(self.items) < self.capacity:
+                put = self._putters.pop(0)
+                self.items.append(put.item)
+                put.succeed()
+                progress = True
+            # Serve waiting getters from the buffer.
+            served = self._serve_getters()
+            progress = progress or served
+
+    def _serve_getters(self) -> bool:
+        served = False
+        while self._getters and self.items:
+            get = self._getters.pop(0)
+            get.succeed(self.items.pop(0))
+            served = True
+        return served
+
+
+class FilterStore(Store):
+    """A :class:`Store` whose getters may demand the first matching item."""
+
+    def get(self, filter: Optional[Callable[[Any], bool]] = None) -> StoreGet:
+        """Remove the oldest item satisfying ``filter`` (any item if None)."""
+        event = StoreGet(self, filter)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def _serve_getters(self) -> bool:
+        served = False
+        # Scan getters in arrival order; each takes its first matching item.
+        remaining: list[StoreGet] = []
+        for get in self._getters:
+            index = self._find(get.filter)
+            if index is None:
+                remaining.append(get)
+            else:
+                get.succeed(self.items.pop(index))
+                served = True
+        self._getters = remaining
+        return served
+
+    def _find(self, predicate: Optional[Callable[[Any], bool]]) -> Optional[int]:
+        if predicate is None:
+            return 0 if self.items else None
+        for i, item in enumerate(self.items):
+            if predicate(item):
+                return i
+        return None

@@ -1,0 +1,444 @@
+"""Discrete-event simulation kernel.
+
+A compact process-interaction engine in the style of SimPy: model logic is
+written as Python generators that ``yield`` :class:`Event` objects and are
+resumed when those events fire.  The :class:`Environment` owns the virtual
+clock and the event heap.
+
+Design notes
+------------
+* Events fire in ``(time, priority, sequence)`` order, so same-time events are
+  deterministic: FIFO within a priority band.
+* A :class:`Process` is itself an event that succeeds with the generator's
+  return value (or fails with its exception), so processes can wait on each
+  other, and :class:`AllOf` / :class:`AnyOf` compose them.
+* Failed events whose failure is never observed raise at ``run()`` time rather
+  than being silently dropped — unhandled model errors must not vanish.
+* The engine is single-threaded and allocation-light; benchmark jobs schedule
+  hundreds of thousands of events, so the hot paths avoid closures where a
+  bound method suffices.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.common.errors import InterruptError, SimulationError
+
+# Priority bands for same-time ordering.  URGENT is used by the kernel itself
+# (process resumption) so that control flow continues before new model events
+# scheduled at the same instant.
+URGENT = 0
+NORMAL = 1
+
+#: Type of the generators that implement simulation processes.
+ProcessGenerator = Generator["Event", Any, Any]
+
+
+class Event:
+    """An occurrence at a point in simulated time.
+
+    An event starts *pending*, becomes *triggered* once given a value via
+    :meth:`succeed` / :meth:`fail` (and scheduled), and *processed* once its
+    callbacks have run.  Processes wait on events by ``yield``-ing them.
+    """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_scheduled", "_defused")
+
+    _PENDING = object()
+
+    def __init__(self, env: "Environment"):
+        self.env = env
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = []
+        self._value: Any = Event._PENDING
+        self._ok: bool = True
+        self._scheduled = False
+        self._defused = False
+
+    # -- state ----------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and is scheduled to fire."""
+        return self._value is not Event._PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have been invoked."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The event's value (or the exception it failed with)."""
+        if self._value is Event._PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering -------------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = True
+        self._value = value
+        self.env._schedule(self, NORMAL, 0.0)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event as failed with ``exception``.
+
+        Waiters receive the exception thrown into their generator.  If nobody
+        ever waits, the failure surfaces from :meth:`Environment.step`.
+        """
+        if not isinstance(exception, BaseException):
+            raise TypeError(f"fail() needs an exception, got {exception!r}")
+        if self.triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._ok = False
+        self._value = exception
+        self.env._schedule(self, NORMAL, 0.0)
+        return self
+
+    def defused(self) -> None:
+        """Mark a failed event as handled so it will not crash ``run()``."""
+        self._defused = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else (
+            "triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` seconds after creation."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None):
+        if delay < 0:
+            raise ValueError(f"negative timeout delay: {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env._schedule(self, NORMAL, delay)
+
+
+class Initialize(Event):
+    """Internal event that starts a freshly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, env: "Environment", process: "Process"):
+        super().__init__(env)
+        self.callbacks = [process._resume]
+        self._ok = True
+        self._value = None
+        env._schedule(self, URGENT, 0.0)
+
+
+class Interruption(Event):
+    """Internal event that throws :class:`InterruptError` into a process."""
+
+    __slots__ = ("process",)
+
+    def __init__(self, process: "Process", cause: Any):
+        super().__init__(process.env)
+        if process.triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        if process is self.env.active_process:
+            raise SimulationError("a process cannot interrupt itself")
+        self.process = process
+        self.callbacks = [self._interrupt]
+        self._ok = False
+        self._value = InterruptError(cause)
+        self._defused = True
+        self.env._schedule(self, URGENT, 0.0)
+
+    def _interrupt(self, event: Event) -> None:
+        if self.process.triggered:
+            return  # the process finished in the meantime; interrupt is moot
+        # Unsubscribe from whatever the process was waiting on, then resume it
+        # with the interrupt error.
+        target = self.process._target
+        if target is not None and target.callbacks is not None:
+            try:
+                target.callbacks.remove(self.process._resume)
+            except ValueError:
+                pass
+        self.process._resume(self)
+
+
+class Process(Event):
+    """A running simulation process wrapping a generator.
+
+    The process is an event: it succeeds with the generator's return value,
+    or fails with the exception that escaped the generator.
+    """
+
+    __slots__ = ("_generator", "_target", "name")
+
+    def __init__(self, env: "Environment", generator: ProcessGenerator,
+                 name: Optional[str] = None):
+        if not hasattr(generator, "throw"):
+            raise TypeError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self._target: Optional[Event] = Initialize(env, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`InterruptError` into the process at the current time."""
+        Interruption(self, cause)
+
+    # -- the scheduler's entry point --------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self.env._active = self
+        try:
+            while True:
+                try:
+                    if event._ok:
+                        next_event = self._generator.send(event._value)
+                    else:
+                        event._defused = True
+                        next_event = self._generator.throw(event._value)
+                except StopIteration as stop:
+                    self._target = None
+                    self.succeed(stop.value)
+                    break
+                except BaseException as exc:
+                    self._target = None
+                    self.fail(exc)
+                    break
+
+                if not isinstance(next_event, Event):
+                    err = SimulationError(
+                        f"process {self.name!r} yielded a non-event: "
+                        f"{next_event!r}")
+                    self._target = None
+                    try:
+                        self._generator.throw(err)
+                    except (StopIteration, SimulationError):
+                        pass
+                    self.fail(err)
+                    break
+
+                if next_event.callbacks is not None:
+                    # Not yet processed: subscribe and go to sleep.
+                    next_event.callbacks.append(self._resume)
+                    self._target = next_event
+                    break
+                # Already processed: continue immediately with its value.
+                event = next_event
+        finally:
+            self.env._active = None
+
+
+class ConditionValue:
+    """Ordered mapping of event -> value produced by :class:`AllOf`/:class:`AnyOf`."""
+
+    def __init__(self, events: list[Event]):
+        self.events = events
+
+    def __getitem__(self, event: Event) -> Any:
+        if event not in self.events:
+            raise KeyError(event)
+        return event.value
+
+    def __contains__(self, event: Event) -> bool:
+        return event in self.events
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def values(self) -> list[Any]:
+        """Values of the fired events, in the order they were passed in."""
+        return [e.value for e in self.events]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<ConditionValue {self.values()!r}>"
+
+
+class Condition(Event):
+    """Base for composite events over a fixed set of sub-events."""
+
+    __slots__ = ("_events", "_remaining")
+
+    def __init__(self, env: "Environment", events: Iterable[Event]):
+        super().__init__(env)
+        self._events = list(events)
+        for e in self._events:
+            if e.env is not env:
+                raise SimulationError("events from different environments")
+        self._remaining = 0
+        if self._check_trivial():
+            return
+        for e in self._events:
+            if e.callbacks is None:
+                self._on_sub_event(e)
+            else:
+                self._remaining += 1
+                e.callbacks.append(self._on_sub_event)
+        # Re-check in case all sub-events were already processed.
+        if not self.triggered and self._satisfied():
+            self.succeed(ConditionValue(self._fired()))
+
+    # subclass hooks ------------------------------------------------------------
+    def _satisfied(self) -> bool:
+        raise NotImplementedError
+
+    def _check_trivial(self) -> bool:
+        if not self._events:
+            self.succeed(ConditionValue([]))
+            return True
+        return False
+
+    def _fired(self) -> list[Event]:
+        # "Fired" means the event has been processed by the scheduler, not
+        # merely given a value: a Timeout carries its value from construction
+        # but only fires when its delay elapses.
+        return [e for e in self._events if e.callbacks is None]
+
+    def _on_sub_event(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event._defused = True
+            return
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        if self._satisfied():
+            self.succeed(ConditionValue(self._fired()))
+
+
+class AllOf(Condition):
+    """Fires once *all* sub-events have fired; fails fast on the first failure."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return all(e.callbacks is None and e._ok for e in self._events)
+
+
+class AnyOf(Condition):
+    """Fires once *any* sub-event has fired."""
+
+    __slots__ = ()
+
+    def _satisfied(self) -> bool:
+        return any(e.callbacks is None and e._ok for e in self._events)
+
+
+class Environment:
+    """The simulation environment: virtual clock plus event heap."""
+
+    def __init__(self, initial_time: float = 0.0):
+        self._now = float(initial_time)
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = 0
+        self._active: Optional[Process] = None
+
+    # -- introspection -----------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently executing, if any."""
+        return self._active
+
+    # -- event factories ---------------------------------------------------------
+    def event(self) -> Event:
+        """A fresh, untriggered event (a one-shot signal)."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that fires ``delay`` seconds from now with ``value``."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: ProcessGenerator,
+                name: Optional[str] = None) -> Process:
+        """Start ``generator`` as a new process; returns the process event."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event firing when all of ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event firing when any of ``events`` has fired."""
+        return AnyOf(self, events)
+
+    # -- scheduling --------------------------------------------------------------
+    def _schedule(self, event: Event, priority: int, delay: float) -> None:
+        event._scheduled = True
+        self._seq += 1
+        heapq.heappush(self._heap, (self._now + delay, priority, self._seq, event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if none."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process the next scheduled event."""
+        if not self._heap:
+            raise SimulationError("step() on an empty schedule")
+        when, _prio, _seq, event = heapq.heappop(self._heap)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # A failure nobody waited on: surface it instead of dropping it.
+            raise event._value
+
+    def run(self, until: Optional[float | Event] = None) -> Any:
+        """Run until the schedule drains, ``until`` (a time) passes, or
+        ``until`` (an event) fires.  Returns the event's value in that case.
+        """
+        if isinstance(until, Event):
+            stop = until
+            if stop.callbacks is None:
+                # Already processed before run() was called.
+                if not stop._ok:
+                    raise stop._value
+                return stop._value
+            sentinel: list[Event] = []
+            stop.callbacks.append(sentinel.append)
+            while self._heap:
+                self.step()
+                if sentinel:
+                    if not stop._ok:
+                        stop._defused = True
+                        raise stop._value
+                    return stop._value
+            raise SimulationError(
+                "schedule ran dry before the awaited event fired (deadlock?)")
+        if until is not None:
+            horizon = float(until)
+            if horizon < self._now:
+                raise ValueError(f"until={horizon} is in the past "
+                                 f"(now={self._now})")
+            while self._heap and self._heap[0][0] <= horizon:
+                self.step()
+            self._now = max(self._now, horizon)
+            return None
+        while self._heap:
+            self.step()
+        return None

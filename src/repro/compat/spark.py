@@ -1,0 +1,150 @@
+"""A Spark-flavoured facade over the GFlink runtime (paper §3.6).
+
+"An important thinking of designing GFlink is to make migration from Flink
+to Spark easier" — the engine-facing pieces (CUDAWrapper/CUDAStub, the
+producer-consumer GWork scheme, the GStruct off-heap layout) are all
+engine-agnostic.  This module proves it: the familiar RDD API, including the
+GPU extensions, is a thin adapter over :class:`repro.core.gdst.GDST`.
+
+Semantics follow PySpark conventions: transformations are lazy and return
+RDDs; actions (``collect``, ``count``, ``reduce``...) return plain values;
+``cache()`` marks the lineage for in-memory reuse.  Timing for the last
+action is available as ``sc.last_job_metrics``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.core.gdst import GDST
+from repro.core.runtime import GFlinkCluster, GFlinkSession
+from repro.flink.dataset import OpCost
+
+
+class SparkContext:
+    """Driver entry point, Spark style, on a GFlink cluster."""
+
+    def __init__(self, cluster: GFlinkCluster, app_name: str = "spark-app"):
+        self.cluster = cluster
+        self.app_name = app_name
+        self._session = GFlinkSession(cluster, app_id=app_name)
+        self.last_job_metrics = None
+
+    # -- RDD creation ------------------------------------------------------------
+    def parallelize(self, data: Any, num_slices: Optional[int] = None,
+                    element_nbytes: float = 32.0,
+                    scale: float = 1.0) -> "RDD":
+        """Distribute a driver collection (``sc.parallelize``)."""
+        ds = self._session.from_collection(
+            data, element_nbytes=element_nbytes, scale=scale,
+            parallelism=num_slices)
+        return RDD(self, ds)
+
+    def hdfs_file(self, path: str, element_nbytes: float,
+                  scale: float = 1.0,
+                  min_partitions: Optional[int] = None) -> "RDD":
+        """An RDD backed by an HDFS file (``sc.textFile`` analogue)."""
+        ds = self._session.read_hdfs(path, element_nbytes, scale=scale,
+                                     parallelism=min_partitions)
+        return RDD(self, ds)
+
+    def register_kernel(self, spec) -> None:
+        """Register a GPU kernel (the GFlink extension carries over)."""
+        self._session.register_kernel(spec)
+
+    # -- internal ----------------------------------------------------------------
+    def _run(self, result):
+        self.last_job_metrics = result.metrics
+        return result.value
+
+
+class RDD:
+    """Resilient-Distributed-Dataset-flavoured view of a GDST."""
+
+    def __init__(self, sc: SparkContext, dataset: GDST):
+        self.sc = sc
+        self._ds = dataset
+
+    def _wrap(self, ds) -> "RDD":
+        return RDD(self.sc, ds)
+
+    # -- transformations (lazy) -------------------------------------------------
+    def map(self, f: Callable, cost: OpCost = OpCost()) -> "RDD":
+        return self._wrap(self._ds.map(f, cost=cost))
+
+    def filter(self, f: Callable, cost: OpCost = OpCost()) -> "RDD":
+        return self._wrap(self._ds.filter(f, cost=cost))
+
+    def flat_map(self, f: Callable, cost: OpCost = OpCost()) -> "RDD":
+        return self._wrap(self._ds.flat_map(f, cost=cost))
+
+    def map_partitions(self, f: Callable, cost: OpCost = OpCost()) -> "RDD":
+        return self._wrap(self._ds.map_partition(f, cost=cost))
+
+    def reduce_by_key(self, f: Callable,
+                      cost: OpCost = OpCost()) -> "RDD":
+        """``reduceByKey`` over (key, value) pairs."""
+        return self._wrap(
+            self._ds.group_by(lambda kv: kv[0])
+            .reduce(lambda a, b: (a[0], f(a[1], b[1])), cost=cost))
+
+    def group_by_key(self) -> "RDD":
+        """``groupByKey``: (key, [values])."""
+        return self._wrap(
+            self._ds.group_by(lambda kv: kv[0])
+            .reduce_group(lambda key, members: (key,
+                                                [m[1] for m in members])))
+
+    def distinct(self) -> "RDD":
+        return self._wrap(self._ds.distinct())
+
+    def union(self, other: "RDD") -> "RDD":
+        return self._wrap(self._ds.union(other._ds))
+
+    def cartesian(self, other: "RDD") -> "RDD":
+        return self._wrap(self._ds.cross(other._ds))
+
+    def join(self, other: "RDD") -> "RDD":
+        """Pair-RDD equi-join: (k, (v_left, v_right))."""
+        return self._wrap(self._ds.join(
+            other._ds, lambda kv: kv[0], lambda kv: kv[0],
+            join_fn=lambda l, r: (l[0], (l[1], r[1]))))
+
+    def sort_by(self, key_fn: Callable, ascending: bool = True) -> "RDD":
+        return self._wrap(self._ds.sort_partition(key_fn=key_fn,
+                                                  reverse=not ascending))
+
+    def cache(self) -> "RDD":
+        """Mark for in-memory reuse across jobs (``rdd.cache()``)."""
+        self._ds.persist()
+        return self
+
+    persist = cache
+
+    # -- the GFlink GPU extensions (§3.6: the framework suits Spark too) ---------
+    def gpu_map_partitions(self, kernel_name: str, **kwargs) -> "RDD":
+        return self._wrap(self._ds.gpu_map_partition(kernel_name, **kwargs))
+
+    def gpu_filter(self, kernel_name: str, **kwargs) -> "RDD":
+        return self._wrap(self._ds.gpu_filter(kernel_name, **kwargs))
+
+    # -- actions (eager, return plain values) -------------------------------------
+    def collect(self) -> list:
+        return self.sc._run(self._ds.collect())
+
+    def count(self) -> float:
+        return self.sc._run(self._ds.count())
+
+    def reduce(self, f: Callable) -> Any:
+        values = self.sc._run(self._ds.reduce(f).collect())
+        return values[0] if values else None
+
+    def first(self) -> Any:
+        values = self.sc._run(self._ds.first(1).collect())
+        return values[0] if values else None
+
+    def take(self, n: int) -> list:
+        return self.sc._run(self._ds.first(n).collect())
+
+    def save_as_hdfs_file(self, path: str) -> str:
+        return self.sc._run(self._ds.write_hdfs(path))

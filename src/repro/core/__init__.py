@@ -1,0 +1,75 @@
+"""GFlink core: the paper's contribution.
+
+This package extends the Flink substrate (:mod:`repro.flink`) to the
+simulated CPU-GPU cluster (:mod:`repro.gpu`), implementing every mechanism
+§3–§5 of the paper describe:
+
+* :mod:`repro.core.gstruct` — ``GStruct``: C-style struct declarations with
+  explicit field order and alignment whose raw bytes match the layout of the
+  CUDA-side struct, in AoS, SoA or AoP form (§3.5.1, §2.1).
+* :mod:`repro.core.hbuffer` — ``HBuffer``: off-heap direct buffers outside
+  the garbage-collected heap, page-locked for async DMA, split into
+  page-sized blocks for the block-processing model (§4.1.2, §5.1).
+* :mod:`repro.core.channels` — the JVM↔GPU communication strategy: a control
+  channel (CUDAWrapper→JNI→CUDAStub, per-call redirect overhead) and a
+  transfer channel (direct DMA from off-heap memory), plus the baseline
+  paths (JVM-heap copy + serde, RPC) the paper compares against (§4.1).
+* :mod:`repro.core.gwork` — ``GWork``: the unit of GPU work the driver
+  assembles and submits (Algorithm 3.1).
+* :mod:`repro.core.gmemory` — ``GMemoryManager``: automatic device memory
+  management and the GPU cache (hash table + FIFO or no-evict garbage
+  collection) (§4.2).
+* :mod:`repro.core.gstream` — ``GStreamManager``: producer–consumer
+  execution, GWork pool with per-GPU FIFO queues, GStream pool with per-GPU
+  bulks, and the three-stage H2D/K/D2H pipeline (§5).
+* :mod:`repro.core.scheduling` — Algorithm 5.1 (locality-aware scheduling)
+  and Algorithm 5.2 (locality-aware work stealing).
+* :mod:`repro.core.gpumanager` — the per-worker GPUManager tying the above
+  together (§3.4).
+* :mod:`repro.core.gdst` — ``GDST``: the GPU-based DataSet with ``gpu_map``,
+  ``gpu_map_partition``, ``gpu_reduce`` (§3.5).
+* :mod:`repro.core.runtime` — ``GFlinkCluster`` / ``GFlinkSession``: the
+  drop-in runtime ("compatible with the compile-time and run-time of
+  Flink").
+* :mod:`repro.core.costmodel` — the §6.3 analytical model (Eq. 1–4 and
+  Observations 1–3).
+"""
+
+from repro.core.gstruct import (
+    GStruct,
+    GStruct4,
+    GStruct8,
+    StructField,
+    DataLayout,
+    Float32,
+    Double64,
+    Int32,
+    Int64,
+    Unsigned32,
+    Unsigned64,
+)
+from repro.core.hbuffer import HBuffer
+from repro.core.gwork import GWork
+from repro.core.runtime import GFlinkCluster, GFlinkSession
+from repro.core.gdst import GDST
+from repro.core.costmodel import Calibration
+
+__all__ = [
+    "GStruct",
+    "GStruct4",
+    "GStruct8",
+    "StructField",
+    "DataLayout",
+    "Float32",
+    "Double64",
+    "Int32",
+    "Int64",
+    "Unsigned32",
+    "Unsigned64",
+    "HBuffer",
+    "GWork",
+    "GFlinkCluster",
+    "GFlinkSession",
+    "GDST",
+    "Calibration",
+]

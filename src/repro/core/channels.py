@@ -1,0 +1,250 @@
+"""The JVM↔GPU communication strategy: control and transfer channels.
+
+§4.1 splits communication into a **control channel** — CUDAWrapper (Java)
+redirects API calls over JNI to CUDAStub (C++), paying a small per-call
+redirect cost — and a **transfer channel** — bulk data moved by the DMA
+engine over PCIe directly from off-heap direct buffers.
+
+Three communication paths are implemented, because the paper's argument is
+comparative:
+
+* ``CommMode.GFLINK`` — the proposed path: raw GStruct bytes already sit in
+  off-heap memory matching the CUDA struct layout, so a transfer is just
+  JNI-redirect + DMA.  (Table 2 shows this within a whisker of native.)
+* ``CommMode.JNI_HEAP`` — the naive JNI path of [12], [13] (§3.1): convert
+  and accumulate JVM objects into a heap buffer (serialization-rate cost),
+  copy heap→native (the GC makes heap addresses unstable), then DMA from
+  unpinned memory.
+* ``CommMode.RPC`` — the HeteroSpark-style path [10]: serialize and push the
+  data through the local TCP/IP stack to a GPU-owning process, then DMA.
+
+The calibration (``jni_call_s`` = 0.155 µs) is fitted so the GFlink column of
+Table 2 reproduces alongside the native column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Generator, Optional
+
+from repro.common.simclock import Environment, Event
+from repro.core.hbuffer import Block, HBuffer
+from repro.gpu.device import GPUDevice
+from repro.gpu.kernel import LaunchConfig
+from repro.gpu.memory import DeviceBuffer, HostBuffer
+from repro.gpu.runtime import CUDARuntime
+from repro.gpu.stream import CUDAStream
+
+
+class CommMode(Enum):
+    """Which JVM→GPU communication path a transfer uses."""
+
+    GFLINK = "gflink"      # off-heap direct buffer, zero-copy DMA
+    JNI_HEAP = "jni-heap"  # convert + heap->native copy + pageable DMA
+    RPC = "rpc"            # serialize + loopback TCP + DMA
+
+
+@dataclass(frozen=True)
+class CommCosts:
+    """Calibration of the communication paths (DESIGN.md §5)."""
+
+    jni_call_s: float = 0.155e-6    # CUDAWrapper -> CUDAStub redirect
+    serde_bps: float = 0.8e9        # JVM object <-> byte conversion
+    heap_copy_bps: float = 4.0e9    # JVM heap -> native memcpy
+    rpc_loopback_bps: float = 1.2e9 # TCP/IP stack on localhost
+    rpc_call_s: float = 45e-6       # RPC marshalling + syscalls per call
+
+
+class CUDAWrapper:
+    """The Java-side wrapper: control channel + transfer channel.
+
+    Every method charges one JNI redirect (the control channel) before
+    delegating to the native :class:`~repro.gpu.runtime.CUDARuntime`
+    ("CUDAStub").
+    """
+
+    def __init__(self, env: Environment, runtime: CUDARuntime,
+                 costs: Optional[CommCosts] = None):
+        self.env = env
+        self.runtime = runtime
+        self.costs = costs or CommCosts()
+        self.jni_calls = 0
+
+    # -- control channel -----------------------------------------------------------
+    def _jni(self) -> Event:
+        """One redirect through the control channel."""
+        self.jni_calls += 1
+        return self.env.timeout(self.costs.jni_call_s)
+
+    def cuda_malloc(self, device: GPUDevice,
+                    nbytes: int) -> Generator[Event, None, DeviceBuffer]:
+        """``cudaMalloc`` via JNI."""
+        yield self._jni()
+        buf = yield from self.runtime.malloc(device, nbytes)
+        return buf
+
+    def cuda_free(self, device: GPUDevice,
+                  buf: DeviceBuffer) -> Generator[Event, None, None]:
+        """``cudaFree`` via JNI."""
+        yield self._jni()
+        yield from self.runtime.free(device, buf)
+
+    def cuda_stream_create(self, device: GPUDevice) -> CUDAStream:
+        """``cudaStreamCreate`` via JNI (wrapper-side object, no wait)."""
+        self.jni_calls += 1
+        return self.runtime.stream_create(device)
+
+    def cuda_host_register(self, host: HostBuffer
+                           ) -> Generator[Event, None, HostBuffer]:
+        """``cudaHostRegister``: page-lock a host buffer."""
+        yield self._jni()
+        result = yield from self.runtime.host_register(host)
+        return result
+
+    def cuda_device_synchronize(self, device: GPUDevice) -> Event:
+        """``cudaDeviceSynchronize`` via JNI."""
+        self.jni_calls += 1
+        return self.runtime.device_synchronize(device)
+
+    def cuda_event_record(self, stream: CUDAStream):
+        """``cudaEventRecord``: a Java-side virtualized CUDA event (§3.4:
+        "many objects in CUDA (e.g., Streams, cudaEvent) are also
+        virtualized in CUDAWrapper in the form of Java")."""
+        self.jni_calls += 1
+        return stream.record_event()
+
+    def cuda_event_synchronize(self, event) -> Event:
+        """``cudaEventSynchronize``: wait for a recorded event."""
+        self.jni_calls += 1
+        return event.wait()
+
+    # -- transfer channel ----------------------------------------------------------
+    def host_view(self, block: Block, hbuffer: HBuffer,
+                  mode: CommMode) -> HostBuffer:
+        """A native-side view of one block of an HBuffer."""
+        pinned = hbuffer.pinned and mode is CommMode.GFLINK
+        return HostBuffer(nbytes=block.nbytes, data=block.elements,
+                          pinned=pinned, dma_capable=hbuffer.dma_capable)
+
+    def transfer_h2d(self, device: GPUDevice, stream: CUDAStream,
+                     dst: DeviceBuffer, block: Block, hbuffer: HBuffer,
+                     mode: CommMode = CommMode.GFLINK,
+                     sync: bool = False) -> Event:
+        """Move one block host→device via the chosen path.
+
+        Returns the completion event (enqueued on ``stream``).  The path
+        premium (conversion, heap copy, RPC) is charged in-stream: in a real
+        implementation the feeding thread serializes with the stream's DMA.
+        """
+        self.jni_calls += 1
+        host = self.host_view(block, hbuffer, mode)
+        premium = self._path_premium_s(block.nbytes, mode)
+
+        def op():
+            if premium:
+                yield self.env.timeout(premium)
+            yield self.env.timeout(self.costs.jni_call_s)
+            yield from self.runtime.memcpy_h2d(device, dst, host)
+
+        return stream.enqueue(op, name=f"h2d-{mode.value}")
+
+    def transfer_d2h(self, device: GPUDevice, stream: CUDAStream,
+                     dst_hbuffer: HBuffer, src: DeviceBuffer,
+                     nbytes: int, nominal_count: float,
+                     mode: CommMode = CommMode.GFLINK) -> Event:
+        """Move results device→host via the chosen path.
+
+        The functional payload lands on the returned event's value (the
+        caller assembles output blocks in order).
+        """
+        self.jni_calls += 1
+        host = HostBuffer(nbytes=nbytes,
+                          pinned=dst_hbuffer.pinned and mode is CommMode.GFLINK,
+                          dma_capable=dst_hbuffer.dma_capable)
+        premium = self._path_premium_s(nbytes, mode)
+
+        def op():
+            yield self.env.timeout(self.costs.jni_call_s)
+            yield from self.runtime.memcpy_d2h(device, host, src, nbytes=nbytes)
+            if premium:
+                yield self.env.timeout(premium)
+            return host.data
+
+        return stream.enqueue(op, name=f"d2h-{mode.value}")
+
+    # -- inline variants (used by the three-stage pipeline's stage processes,
+    # which provide their own ordering and must not hold a stream lock) -------
+    def transfer_h2d_inline(self, device: GPUDevice, dst: DeviceBuffer,
+                            block: Block, hbuffer: HBuffer,
+                            mode: CommMode = CommMode.GFLINK
+                            ) -> Generator[Event, None, None]:
+        """One block host→device, run inside the calling process."""
+        premium = self._path_premium_s(block.nbytes, mode)
+        if premium:
+            yield self.env.timeout(premium)
+        yield self._jni()
+        host = self.host_view(block, hbuffer, mode)
+        yield from self.runtime.memcpy_h2d(device, dst, host)
+
+    def transfer_d2h_inline(self, device: GPUDevice, dst_hbuffer: HBuffer,
+                            src: DeviceBuffer, nbytes: int,
+                            mode: CommMode = CommMode.GFLINK
+                            ) -> Generator[Event, None, object]:
+        """One result block device→host; returns the payload."""
+        yield self._jni()
+        host = HostBuffer(
+            nbytes=nbytes,
+            pinned=dst_hbuffer.pinned and mode is CommMode.GFLINK,
+            dma_capable=dst_hbuffer.dma_capable)
+        yield from self.runtime.memcpy_d2h(device, host, src, nbytes=nbytes)
+        premium = self._path_premium_s(nbytes, mode)
+        if premium:
+            yield self.env.timeout(premium)
+        return host.data
+
+    def launch_kernel_inline(self, device: GPUDevice, kernel_name: str,
+                             n_elements: float, launch: LaunchConfig,
+                             inputs, outputs, params=None,
+                             layout=None) -> Generator[Event, None, dict]:
+        """Kernel execution inside the calling process (pipeline stage)."""
+        yield self._jni()
+        results = yield from self.runtime.kernel_op(
+            device, kernel_name, n_elements, launch, inputs, outputs, params,
+            layout=layout)
+        return results
+
+    def _path_premium_s(self, nbytes: float, mode: CommMode) -> float:
+        """Extra per-byte cost the non-GFlink paths pay (one direction)."""
+        c = self.costs
+        if mode is CommMode.GFLINK:
+            return 0.0
+        if mode is CommMode.JNI_HEAP:
+            # Convert objects to a buffer, then copy the buffer off-heap.
+            return nbytes / c.serde_bps + nbytes / c.heap_copy_bps
+        if mode is CommMode.RPC:
+            return (c.rpc_call_s + nbytes / c.serde_bps
+                    + nbytes / c.rpc_loopback_bps)
+        raise ValueError(mode)  # pragma: no cover - exhaustive
+
+    # -- kernels ------------------------------------------------------------------
+    def launch_kernel(self, device: GPUDevice, stream: CUDAStream,
+                      kernel_name: str, n_elements: float,
+                      launch: LaunchConfig, inputs, outputs,
+                      params=None) -> Event:
+        """Kernel launch via JNI (asynchronous, on ``stream``).
+
+        The JNI redirect is enqueued as its own tiny stream operation ahead
+        of the kernel (streams are in-order), because the kernel operation
+        itself is enqueued by the native runtime — nesting them would
+        deadlock on the stream lock.
+        """
+        self.jni_calls += 1
+
+        def jni_op():
+            yield self.env.timeout(self.costs.jni_call_s)
+
+        stream.enqueue(jni_op, name=f"jni-launch-{kernel_name}")
+        return self.runtime.launch_kernel(
+            device, stream, kernel_name, n_elements, launch,
+            inputs, outputs, params)

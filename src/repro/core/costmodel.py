@@ -1,0 +1,94 @@
+"""The analytical time-cost model of §6.3 (Eq. 1–4, Observations 1–3).
+
+Benchmarks use this to sanity-check measured simulation times against the
+closed-form model, and EXPERIMENTS.md quotes both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.flink.config import CPUSpec, FlinkConfig
+from repro.gpu.kernel import KernelSpec, LaunchConfig
+from repro.gpu.specs import GPUSpec, TESLA_C2050
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """All calibration constants in one place (DESIGN.md §5)."""
+
+    cpu: CPUSpec = field(default_factory=CPUSpec)
+    flink: FlinkConfig = field(default_factory=FlinkConfig)
+    gpu: GPUSpec = TESLA_C2050
+
+
+@dataclass
+class PhaseTimes:
+    """Per-MapReduce-phase times feeding Eq. 1."""
+
+    map_s: float = 0.0
+    reduce_s: float = 0.0
+    shuffle_s: float = 0.0
+
+
+def total_time(phases: List[PhaseTimes], submit_s: float, io_s: float,
+               schedule_s: float) -> float:
+    """Eq. 1: ``T_total = Σ_i (T_map_i + T_reduce_i + T_shuffle_i)
+    + T_submit + T_IO + T_schedule``."""
+    return (sum(p.map_s + p.reduce_s + p.shuffle_s for p in phases)
+            + submit_s + io_s + schedule_s)
+
+
+def speedup_total(t_flink: float, t_gflink: float) -> float:
+    """Eq. 2: overall speedup of an application on GFlink."""
+    if t_gflink <= 0:
+        raise ValueError("GFlink time must be positive")
+    return t_flink / t_gflink
+
+
+def map_cpu_time(n_elements: float, flops_per_element: float,
+                 calib: Calibration, cores: int = 1) -> float:
+    """CPU-side Map-phase time under the iterator model (denominator of Eq. 3)."""
+    per = (calib.flink.element_overhead_s
+           + flops_per_element / calib.cpu.flops_per_core)
+    return n_elements * per / cores
+
+
+def map_gpu_time(n_elements: float, kernel: KernelSpec,
+                 in_bytes: float, out_bytes: float,
+                 calib: Calibration, cached_in_bytes: float = 0.0) -> float:
+    """Eq. 4: ``T_map_gpu = T_gt_data + T_ge + T_gt_result``.
+
+    ``cached_in_bytes`` models the GPU cache scheme removing part of the
+    input transfer (Observation 2's second clause).
+    """
+    spec = calib.gpu
+    transfer_in = max(in_bytes - cached_in_bytes, 0.0) / spec.pcie_effective_bps
+    launch = LaunchConfig.for_elements(max(n_elements, 1))
+    execute = kernel.execution_seconds(n_elements, launch, spec)
+    transfer_out = out_bytes / spec.pcie_effective_bps
+    return transfer_in + execute + transfer_out
+
+
+def map_speedup(n_elements: float, flops_per_element: float,
+                kernel: KernelSpec, in_bytes: float, out_bytes: float,
+                calib: Calibration, cached_in_bytes: float = 0.0) -> float:
+    """Eq. 3: ``Speedup_map = T_map_cpu / T_map_gpu`` (single core vs one GPU)."""
+    cpu = map_cpu_time(n_elements, flops_per_element, calib)
+    gpu = map_gpu_time(n_elements, kernel, in_bytes, out_bytes, calib,
+                       cached_in_bytes)
+    return cpu / gpu
+
+
+def observation3_overhead_fraction(compute_s: float, submit_s: float,
+                                   io_s: float, schedule_s: float) -> float:
+    """Observation 3: the fraction of runtime spent in fixed overheads.
+
+    "If the data to be processed is small, the T_submit, T_IO and T_schedule
+    will occupy a large part of the total execution time."
+    """
+    total = compute_s + submit_s + io_s + schedule_s
+    if total <= 0:
+        return 0.0
+    return (submit_s + io_s + schedule_s) / total

@@ -1,0 +1,371 @@
+"""GDST: the GPU-based DataSet (§3.5).
+
+Adds the GPU-based user interfaces to the DST abstraction: ``gpu_map``,
+``gpu_map_partition`` (the paper's ``gpuMapPartition``/``gpuMapBlock`` —
+block processing is implicit: the GStreamManager splits partitions into
+page-sized blocks) and ``gpu_reduce``.  Each GPU transformation compiles to
+a :class:`GpuMapPartitionOp`, whose subtasks *produce* a
+:class:`~repro.core.gwork.GWork` and hand it to the worker's GPUManager —
+the producer–consumer decoupling of §5.
+
+CPU transformations inherited from :class:`~repro.flink.dataset.DataSet`
+remain available and return GDSTs, because GFlink "is compatible with the
+compile-time and run-time of Flink".
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+import numpy as np
+
+from repro.common.errors import ConfigError, KernelError
+from repro.core.channels import CommMode
+from repro.core.gstruct import DataLayout
+from repro.flink.fault import TaskFailure
+from repro.core.gwork import GWork
+from repro.core.hbuffer import HBuffer
+from repro.flink.dataset import DataSet, OpCost
+from repro.flink.partition import Partition, real_len
+from repro.flink.plan import Operator, ShipStrategy
+
+
+class GpuMapPartitionOp(Operator):
+    """A partition-wise GPU transformation (gpuMapPartition, Alg. 3.1)."""
+
+    def __init__(self, source: Operator, kernel_name: str, app_id: str,
+                 extra_inputs: Optional[Dict[str, "ExtraInput"]] = None,
+                 params: Optional[Dict[str, Any]] = None,
+                 params_fn: Optional[Callable[[], Dict[str, Any]]] = None,
+                 cache: bool = False,
+                 cache_key_base: Optional[Any] = None,
+                 out_element_nbytes: Optional[float] = None,
+                 comm_mode: CommMode = CommMode.GFLINK,
+                 cuda_block_size: int = 256,
+                 layout: DataLayout = DataLayout.AOS,
+                 scale_semantics: str = "auto",
+                 mapped_memory: bool = False,
+                 parallelism: Optional[int] = None,
+                 name: Optional[str] = None):
+        super().__init__(name or f"gpu-map-partition({kernel_name})",
+                         [source], parallelism, [ShipStrategy.FORWARD],
+                         OpCost())
+        if scale_semantics not in ("auto", "map", "flatmap", "reduce"):
+            raise ConfigError(
+                f"scale_semantics must be auto/map/flatmap/reduce: "
+                f"{scale_semantics!r}")
+        self.scale_semantics = scale_semantics
+        self.kernel_name = kernel_name
+        self.app_id = app_id
+        self.extra_inputs = dict(extra_inputs or {})
+        self.params = dict(params or {})
+        self.params_fn = params_fn
+        self.cache = cache
+        self.cache_key_base = (cache_key_base if cache_key_base is not None
+                               else source.uid)
+        self.out_elem_nbytes = out_element_nbytes
+        self.comm_mode = comm_mode
+        self.cuda_block_size = cuda_block_size
+        self.layout = layout
+        self.mapped_memory = mapped_memory
+
+    def execute_subtask(self, ctx, inputs):
+        (part,) = inputs
+        gpumanager = ctx.worker.gpumanager
+        if gpumanager is None:
+            raise ConfigError(
+                f"worker {ctx.worker.name} has no GPUManager; use a "
+                f"GFlinkCluster with gpus_per_worker configured")
+        if part.real_count == 0:
+            return Partition(index=ctx.subtask_index, elements=[],
+                             element_nbytes=self.out_element_nbytes(part),
+                             scale=part.scale, worker=ctx.worker.name)
+        work = self._build_gwork(ctx, part)
+        try:
+            out_hbuf = yield gpumanager.submit(work)
+        except KernelError:
+            # Bad kernel name / wrong outputs: deterministic, not retryable.
+            raise
+        except Exception as exc:
+            # A failed GWork (device fault, transient kernel crash) is a
+            # task failure: the JobManager re-executes the subtask, which
+            # re-submits the work — Flink's schedule-around-failures story
+            # extended to the GPU path.
+            raise TaskFailure(self.name, ctx.subtask_index, attempt=-1,
+                              cause=repr(exc)) from exc
+        ctx.metrics.gpu_kernel_s = getattr(ctx.metrics, "gpu_kernel_s", 0.0)
+        out_elements = out_hbuf.elements
+        out_real = real_len(out_elements)
+        scale = self._output_scale(part, out_real)
+        return Partition(index=ctx.subtask_index, elements=out_elements,
+                         element_nbytes=self.out_element_nbytes(part),
+                         scale=scale, worker=ctx.worker.name)
+
+    def _output_scale(self, part: Partition, out_real: int) -> float:
+        """Nominal scaling of the kernel output.
+
+        * ``map`` — one out per in: keep the input's scale.
+        * ``flatmap`` — variable fan-out realized on the sample: the sample
+          selectivity stands for the nominal one, so the scale carries over.
+        * ``reduce`` — the kernel emits *real* partials (per block): scale 1.
+        * ``auto`` — map when counts match, reduce otherwise (the two common
+          kernel shapes).
+        """
+        if self.scale_semantics in ("map", "flatmap"):
+            return part.scale
+        if self.scale_semantics == "reduce":
+            return 1.0
+        return part.scale if out_real == part.real_count else 1.0
+
+    def _build_gwork(self, ctx, part: Partition) -> GWork:
+        # GStruct data is raw bytes in off-heap memory already: creating the
+        # HBuffer is free.  Non-array payloads model plain JVM objects and
+        # pay the conversion penalty via the JNI_HEAP path semantics.
+        primary = HBuffer(part.elements, part.element_nbytes,
+                          scale=part.scale,
+                          off_heap=self.comm_mode is CommMode.GFLINK,
+                          pinned=self.comm_mode is CommMode.GFLINK,
+                          layout=self.layout)
+        in_buffers = {"in": primary}
+        for name, extra in self.extra_inputs.items():
+            in_buffers[name] = extra.to_hbuffer(self.comm_mode)
+        out_buffer = HBuffer(
+            [], self.out_element_nbytes(part), scale=part.scale,
+            off_heap=self.comm_mode is CommMode.GFLINK,
+            pinned=self.comm_mode is CommMode.GFLINK)
+        params = dict(self.params)
+        if self.params_fn is not None:
+            params.update(self.params_fn())
+        return GWork(
+            execute_name=self.kernel_name,
+            ptx_path=f"/{self.kernel_name}.ptx",
+            in_buffers=in_buffers,
+            out_buffer=out_buffer,
+            size=part.nominal_count,
+            block_size=self.cuda_block_size,
+            cache=self.cache,
+            cache_key=(self.cache_key_base, part.index),
+            params=params,
+            app_id=self.app_id,
+            out_element_nbytes=self.out_elem_nbytes,
+            comm_mode=self.comm_mode,
+            mapped_memory=self.mapped_memory,
+        )
+
+    def out_element_nbytes(self, input_partition) -> float:
+        if self.out_elem_nbytes is not None:
+            return self.out_elem_nbytes
+        if input_partition is not None:
+            return input_partition.element_nbytes
+        return 8.0
+
+
+class GpuJoinOp(Operator):
+    """GPU hash equi-join (§3.5.2's deferred "Join ... can also be
+    implemented in GPUs").
+
+    Both inputs are hash-shuffled by key (the CPU-side exchange, exactly as
+    for a CPU join); each subtask then runs the registered join kernel on
+    its bucket pair: the left bucket streams through the block pipeline as
+    the primary input, the right bucket uploads whole as a secondary
+    operand (the build side of a GPU hash join).
+    """
+
+    def __init__(self, left: Operator, right: Operator,
+                 left_key: Callable, right_key: Callable,
+                 kernel_name: str, app_id: str,
+                 params: Optional[Dict[str, Any]] = None,
+                 out_element_nbytes: Optional[float] = None,
+                 comm_mode: CommMode = CommMode.GFLINK,
+                 parallelism: Optional[int] = None,
+                 name: Optional[str] = None):
+        super().__init__(name or f"gpu-join({kernel_name})",
+                         [left, right], parallelism,
+                         [ShipStrategy.HASH, ShipStrategy.HASH], OpCost())
+        self.left_key = left_key
+        self.right_key = right_key
+        self.kernel_name = kernel_name
+        self.app_id = app_id
+        self.params = dict(params or {})
+        self.out_elem_nbytes = out_element_nbytes
+        self.comm_mode = comm_mode
+
+    def key_fn_for_input(self, i):
+        return self.left_key if i == 0 else self.right_key
+
+    def execute_subtask(self, ctx, inputs):
+        left, right = inputs
+        gpumanager = ctx.worker.gpumanager
+        if gpumanager is None:
+            raise ConfigError(
+                f"worker {ctx.worker.name} has no GPUManager")
+        if left.real_count == 0 or right.real_count == 0:
+            return Partition(index=ctx.subtask_index, elements=[],
+                             element_nbytes=self.out_element_nbytes(left),
+                             scale=1.0, worker=ctx.worker.name)
+        primary = HBuffer(_as_array(left.elements), left.element_nbytes,
+                          scale=left.scale, off_heap=True, pinned=True)
+        build_side = HBuffer(_as_array(right.elements),
+                             right.element_nbytes, scale=right.scale,
+                             off_heap=True, pinned=True, cacheable=False)
+        work = GWork(
+            execute_name=self.kernel_name,
+            in_buffers={"in": primary, "right": build_side},
+            out_buffer=HBuffer([], self.out_element_nbytes(left),
+                               pinned=True),
+            size=left.nominal_count + right.nominal_count,
+            params=dict(self.params), app_id=self.app_id,
+            out_element_nbytes=self.out_elem_nbytes,
+            comm_mode=self.comm_mode)
+        try:
+            out_hbuf = yield gpumanager.submit(work)
+        except KernelError:
+            raise
+        except Exception as exc:
+            raise TaskFailure(self.name, ctx.subtask_index, attempt=-1,
+                              cause=repr(exc)) from exc
+        out_elements = out_hbuf.elements
+        # Join fan-out realized on the sample stands for the nominal one.
+        scale = max(left.scale, right.scale)
+        return Partition(index=ctx.subtask_index, elements=out_elements,
+                         element_nbytes=self.out_element_nbytes(left),
+                         scale=scale, worker=ctx.worker.name)
+
+    def out_element_nbytes(self, input_partition) -> float:
+        if self.out_elem_nbytes is not None:
+            return self.out_elem_nbytes
+        if input_partition is not None:
+            return input_partition.element_nbytes
+        return 8.0
+
+
+def _as_array(elements: Any) -> Any:
+    """Hash-exchange buckets arrive as lists; kernels want arrays."""
+    if isinstance(elements, np.ndarray):
+        return elements
+    try:
+        return np.asarray(elements)
+    except Exception:  # heterogeneous payloads stay as lists
+        return elements
+
+
+class ExtraInput:
+    """A broadcast-style secondary kernel operand (e.g. KMeans centers).
+
+    ``cacheable`` controls GPU caching: iteration-varying operands (KMeans
+    centers, the SpMV vector) must stay ``cacheable=False`` so every
+    submission re-uploads the fresh value; static operands (PageRank's
+    out-degree table) may ride the GPU cache with the primary input
+    (use :meth:`constant`).
+    """
+
+    def __init__(self, supplier: Callable[[], Any], element_nbytes: float,
+                 scale: float = 1.0, cacheable: bool = False):
+        self.supplier = supplier
+        self.element_nbytes = element_nbytes
+        self.scale = scale
+        self.cacheable = cacheable
+
+    @classmethod
+    def constant(cls, value: Any, element_nbytes: float, scale: float = 1.0,
+                 cacheable: bool = True) -> "ExtraInput":
+        """An operand whose value never changes (cache-eligible by default)."""
+        return cls(lambda: value, element_nbytes, scale, cacheable=cacheable)
+
+    def to_hbuffer(self, mode: CommMode) -> HBuffer:
+        return HBuffer(self.supplier(), self.element_nbytes, scale=self.scale,
+                       off_heap=mode is CommMode.GFLINK,
+                       pinned=mode is CommMode.GFLINK,
+                       cacheable=self.cacheable)
+
+
+class GDST(DataSet):
+    """GPU-based DataSet: DST plus gpuMap/gpuReduce interfaces."""
+
+    def gpu_map_partition(self, kernel_name: str,
+                          extra_inputs: Optional[Dict[str, ExtraInput]] = None,
+                          params: Optional[Dict[str, Any]] = None,
+                          params_fn: Optional[Callable[[], Dict]] = None,
+                          cache: bool = False,
+                          cache_key_base: Optional[Any] = None,
+                          out_element_nbytes: Optional[float] = None,
+                          comm_mode: CommMode = CommMode.GFLINK,
+                          cuda_block_size: int = 256,
+                          layout: DataLayout = DataLayout.AOS,
+                          scale_semantics: str = "auto",
+                          mapped_memory: bool = False,
+                          parallelism: Optional[int] = None,
+                          name: Optional[str] = None) -> "GDST":
+        """Run a registered kernel over each partition, block by block.
+
+        ``cache=True`` keeps the partition's blocks in the GPU cache keyed by
+        ``(cache_key_base, partition index)`` — reuse across iterations needs
+        a stable ``cache_key_base`` (defaults to the source dataset's plan
+        uid, which is stable when the driver reuses the same persisted
+        dataset object).
+        """
+        app_id = getattr(self.session, "app_id", "default")
+        return self._derive(GpuMapPartitionOp(
+            self.op, kernel_name, app_id, extra_inputs=extra_inputs,
+            params=params, params_fn=params_fn, cache=cache,
+            cache_key_base=cache_key_base,
+            out_element_nbytes=out_element_nbytes, comm_mode=comm_mode,
+            cuda_block_size=cuda_block_size, layout=layout,
+            scale_semantics=scale_semantics, mapped_memory=mapped_memory,
+            parallelism=parallelism, name=name))
+
+    def gpu_map(self, kernel_name: str, **kwargs) -> "GDST":
+        """Element-wise GPU map — same machinery, one output per input."""
+        kwargs.setdefault("name", f"gpu-map({kernel_name})")
+        kwargs.setdefault("scale_semantics", "map")
+        return self.gpu_map_partition(kernel_name, **kwargs)
+
+    def gpu_flat_map(self, kernel_name: str, **kwargs) -> "GDST":
+        """``gpuFlatMap`` (§3.5.2): zero-or-more outputs per input element.
+
+        The kernel returns the flattened output block; the sample's fan-out
+        stands in for the nominal one (nominal scaling carries over).
+        """
+        kwargs.setdefault("name", f"gpu-flat-map({kernel_name})")
+        kwargs.setdefault("scale_semantics", "flatmap")
+        return self.gpu_map_partition(kernel_name, **kwargs)
+
+    def gpu_filter(self, kernel_name: str, **kwargs) -> "GDST":
+        """GPU-side filter: the kernel returns the surviving elements."""
+        kwargs.setdefault("name", f"gpu-filter({kernel_name})")
+        kwargs.setdefault("scale_semantics", "flatmap")
+        return self.gpu_map_partition(kernel_name, **kwargs)
+
+    def gpu_join(self, other: "GDST", left_key: Callable,
+                 right_key: Callable, kernel_name: str,
+                 params: Optional[Dict[str, Any]] = None,
+                 out_element_nbytes: Optional[float] = None,
+                 parallelism: Optional[int] = None,
+                 name: Optional[str] = None) -> "GDST":
+        """GPU hash equi-join with ``other`` (§3.5.2's deferred Join).
+
+        The registered kernel receives ``{"in": left_block, "right":
+        right_bucket}`` and returns the joined block as ``{"out": ...}``.
+        """
+        if other.session is not self.session:
+            raise ValueError("cannot join datasets from different sessions")
+        app_id = getattr(self.session, "app_id", "default")
+        return self._derive(GpuJoinOp(
+            self.op, other.op, left_key, right_key, kernel_name, app_id,
+            params=params, out_element_nbytes=out_element_nbytes,
+            parallelism=parallelism, name=name))
+
+    def gpu_reduce(self, kernel_name: str, final_fn: Callable,
+                   cost: OpCost = OpCost(),
+                   **kwargs) -> "GDST":
+        """GPU partial reduction per block + CPU final combine.
+
+        The kernel emits one (or few) partials per block; the tiny final
+        fold runs on the CPU ("The GReducer ... cannot obtain good speedup
+        as it is not compute-intensive", §6.6.2 — so only the bulk phase
+        goes to the GPU).
+        """
+        kwargs.setdefault("name", f"gpu-reduce({kernel_name})")
+        partials = self.gpu_map_partition(kernel_name, **kwargs)
+        return partials.reduce(final_fn, cost=cost,
+                               name=f"final-reduce({kernel_name})")

@@ -1,0 +1,198 @@
+"""GMemoryManager: automatic device memory management + the GPU cache (§4.2).
+
+Explicit ``cudaMalloc``/``cudaFree`` management is "complicated, error-prone
+and a heavy burden" (§4.2) — GFlink's GMemoryManager does it automatically:
+input/output buffers for a GWork are allocated before the transfers and
+released after execution *unless* the data is marked for caching.
+
+The cache (§4.2.2): each application owns a cache region per device,
+reserved when the application starts and released when it ends.  Entries are
+kept in a hash table keyed by ``(partition id, block id)``-style keys, each
+mapping to the offset/size of the cached block, with a FIFO list for garbage
+collection.  Two GC policies are provided, exactly the paper's two schemes:
+
+* ``FIFO`` — evict oldest entries one by one until the new block fits;
+* ``NO_EVICT`` — "when the cache region is fully utilized, no data can be
+  cached", for working sets larger than the region (one iteration's data
+  would otherwise evict itself before reuse).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.common.errors import ConfigError
+from repro.core.gwork import GWork
+from repro.gpu.device import GPUDevice
+from repro.gpu.memory import DeviceBuffer
+
+
+class EvictionPolicy(Enum):
+    """The two garbage-collection schemes of §4.2.2."""
+
+    FIFO = "fifo"
+    NO_EVICT = "no-evict"
+
+
+@dataclass
+class CacheEntry:
+    """One cached block inside a region."""
+
+    key: Hashable
+    offset: int
+    nbytes: int
+    buffer: DeviceBuffer  # unregistered view into the region's reservation
+
+
+class CacheRegion:
+    """A per-application reservation of one device's memory.
+
+    The hash table is an :class:`OrderedDict`, which doubles as the FIFO
+    list ("a corresponding FIFO list is utilized to store the elements in the
+    hash table").
+    """
+
+    def __init__(self, device: GPUDevice, capacity: int,
+                 policy: EvictionPolicy):
+        if capacity <= 0:
+            raise ConfigError(f"cache capacity must be positive: {capacity}")
+        self.device = device
+        self.capacity = capacity
+        self.policy = policy
+        # One reservation from the device allocator backs the whole region.
+        self.reservation = device.memory.alloc(capacity)
+        self._entries: "OrderedDict[Hashable, CacheEntry]" = OrderedDict()
+        self._cursor = 0  # sequential allocation within the region
+        self.used = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- lookup ----------------------------------------------------------------
+    def lookup(self, key: Hashable) -> Optional[CacheEntry]:
+        """Hash-table probe; counts hit/miss statistics."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def contains(self, key: Hashable) -> bool:
+        """Probe without touching statistics (scheduling uses this)."""
+        return key in self._entries
+
+    def cached_bytes_for(self, keys: List[Hashable]) -> int:
+        """Sum of cached sizes among ``keys`` (Algorithm 5.1's input)."""
+        return sum(self._entries[k].nbytes
+                   for k in keys if k in self._entries)
+
+    # -- insertion -----------------------------------------------------------------
+    def try_insert(self, key: Hashable, nbytes: int) -> Optional[CacheEntry]:
+        """Reserve room for a new block; returns its entry or None.
+
+        FIFO: evict oldest entries until the block fits (paper: "the first
+        objects in the FIFO list will be selected one by one ... until the
+        sizes are bigger than the size of the new partition").
+        NO_EVICT: fail when the region is full.
+        """
+        if nbytes > self.capacity:
+            return None
+        if key in self._entries:
+            raise ConfigError(f"cache key {key!r} already present")
+        if nbytes > self.capacity - self.used:
+            if self.policy is EvictionPolicy.NO_EVICT:
+                return None
+            while nbytes > self.capacity - self.used and self._entries:
+                _, victim = self._entries.popitem(last=False)
+                self.used -= victim.nbytes
+                victim.buffer.data = None
+                self.evictions += 1
+        buffer = DeviceBuffer(nbytes, self.device.name)
+        entry = CacheEntry(key=key, offset=self._cursor, nbytes=nbytes,
+                           buffer=buffer)
+        self._cursor = (self._cursor + nbytes) % max(self.capacity, 1)
+        self._entries[key] = entry
+        self.used += nbytes
+        return entry
+
+    def release(self) -> None:
+        """Free the reservation (application finished)."""
+        self._entries.clear()
+        self.used = 0
+        if not self.reservation.freed:
+            self.device.memory.free(self.reservation)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class GMemoryManager:
+    """Per-worker automatic device memory management and cache coordination."""
+
+    def __init__(self, devices: List[GPUDevice],
+                 cache_capacity_per_device: int,
+                 policy: EvictionPolicy = EvictionPolicy.FIFO):
+        self.devices = list(devices)
+        self.cache_capacity = cache_capacity_per_device
+        self.policy = policy
+        # (app_id, device_index) -> CacheRegion, created lazily per §4.2.2
+        # ("allocated when the job starts").
+        self._regions: Dict[Tuple[str, int], CacheRegion] = {}
+
+    # -- regions -------------------------------------------------------------------
+    def region(self, app_id: str, device_index: int) -> CacheRegion:
+        """The cache region of ``app_id`` on device ``device_index``.
+
+        The user-requested capacity is clamped to half the device's memory
+        so working buffers (kernel inputs/outputs in flight) always fit —
+        a 1 GiB region request must not brick a 1 GiB GTX 750.
+        """
+        key = (app_id, device_index)
+        if key not in self._regions:
+            device = self.devices[device_index]
+            capacity = min(self.cache_capacity, device.memory.capacity // 2)
+            self._regions[key] = CacheRegion(device, capacity, self.policy)
+        return self._regions[key]
+
+    def release_app(self, app_id: str) -> None:
+        """Release all of an application's cache regions (job end)."""
+        for key in [k for k in self._regions if k[0] == app_id]:
+            self._regions.pop(key).release()
+
+    def has_region(self, app_id: str, device_index: int) -> bool:
+        return (app_id, device_index) in self._regions
+
+    # -- Algorithm 5.1, step 1 ---------------------------------------------------
+    def locality_gid(self, work: GWork,
+                     keys: List[Hashable]) -> Optional[int]:
+        """Device holding the most cached input bytes for ``work``.
+
+        ``keys`` are the work's block-level cache keys; the paper: "select
+        the GPU with the biggest sum of input bytes in its device memory and
+        return its index named GID".  Returns None when nothing relevant is
+        cached anywhere.
+        """
+        if not work.cache:
+            return None
+        best_gid, best_bytes = None, 0
+        for gid in range(len(self.devices)):
+            if not self.has_region(work.app_id, gid):
+                continue
+            region = self._regions[(work.app_id, gid)]
+            cached = region.cached_bytes_for(keys)
+            if cached > best_bytes:
+                best_gid, best_bytes = gid, cached
+        return best_gid
+
+    # -- statistics ----------------------------------------------------------------
+    def stats(self, app_id: str) -> Dict[int, Tuple[int, int, int]]:
+        """Per-device (hits, misses, evictions) for an application."""
+        out = {}
+        for (app, gid), region in self._regions.items():
+            if app == app_id:
+                out[gid] = (region.hits, region.misses, region.evictions)
+        return out

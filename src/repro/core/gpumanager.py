@@ -1,0 +1,86 @@
+"""GPUManager: the per-worker component GFlink adds to every slave (§3.4).
+
+"GPUManager, which resides in each worker in the cluster, manages GPU
+computing resources (e.g., GPU memory, GPU context) and cooperates with
+TaskManager to accomplish the tasks assigned to GPUs."  It owns:
+
+* the node's :class:`~repro.gpu.device.GPUDevice` s,
+* the native runtime + :class:`~repro.core.channels.CUDAWrapper`
+  (CUDAWrapper/CUDAStub communication, §4.1),
+* the :class:`~repro.core.gmemory.GMemoryManager` (automatic device memory
+  + cache, §4.2),
+* the :class:`~repro.core.gstream.GStreamManager` (scheduling + pipeline, §5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.common.simclock import Environment, Event
+from repro.core.channels import CommCosts, CUDAWrapper
+from repro.core.gmemory import EvictionPolicy, GMemoryManager
+from repro.core.gstream import GStreamManager
+from repro.core.gwork import GWork
+from repro.gpu.device import GPUDevice
+from repro.gpu.kernel import KernelRegistry
+from repro.gpu.runtime import CUDARuntime
+from repro.gpu.specs import get_spec
+
+
+@dataclass(frozen=True)
+class GPUManagerConfig:
+    """Tunables of the per-worker GPU stack."""
+
+    cache_bytes_per_device: int = 1 << 30     # per-app cache region capacity
+    eviction_policy: EvictionPolicy = EvictionPolicy.FIFO
+    streams_per_gpu: int = 2
+    block_nbytes: int = 8 * (1 << 20)         # pipeline block ("page") size
+    comm_costs: CommCosts = CommCosts()
+    locality_aware: bool = True               # Algorithm 5.1's GID step
+
+
+class GPUManager:
+    """All GPU machinery of one worker node."""
+
+    def __init__(self, env: Environment, worker_name: str,
+                 gpu_spec_names: Sequence[str], registry: KernelRegistry,
+                 config: Optional[GPUManagerConfig] = None):
+        self.env = env
+        self.worker_name = worker_name
+        self.config = config or GPUManagerConfig()
+        self.devices: List[GPUDevice] = [
+            GPUDevice(env, get_spec(name), index=i,
+                      name=f"{worker_name}-gpu{i}")
+            for i, name in enumerate(gpu_spec_names)
+        ]
+        self.runtime = CUDARuntime(env, self.devices, registry)
+        self.wrapper = CUDAWrapper(env, self.runtime,
+                                   self.config.comm_costs)
+        self.gmm = GMemoryManager(
+            self.devices,
+            cache_capacity_per_device=self.config.cache_bytes_per_device,
+            policy=self.config.eviction_policy)
+        self.gstream_manager = GStreamManager(
+            env, self.devices, self.wrapper, self.gmm,
+            streams_per_gpu=self.config.streams_per_gpu,
+            block_nbytes=self.config.block_nbytes,
+            locality_aware=self.config.locality_aware)
+
+    # -- the TaskManager-facing API ------------------------------------------------
+    def submit(self, work: GWork) -> Event:
+        """Submit a GWork produced by a Flink task (producer→consumer edge)."""
+        return self.gstream_manager.submit(work)
+
+    def release_app(self, app_id: str) -> None:
+        """Drop an application's GPU cache regions (job/application end)."""
+        self.gmm.release_app(app_id)
+
+    # -- metrics ------------------------------------------------------------------
+    def kernel_seconds(self) -> float:
+        """Total kernel execution time across this worker's devices."""
+        return sum(d.kernel_seconds for d in self.devices)
+
+    def pcie_bytes(self) -> int:
+        """Total H2D + D2H traffic across this worker's devices."""
+        return sum(d.h2d_bytes + d.d2h_bytes for d in self.devices)

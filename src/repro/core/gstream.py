@@ -1,0 +1,415 @@
+"""GStreamManager: producer–consumer GPU execution with pipelining (§5).
+
+Flink tasks *produce* GWork; GStreams *consume* it.  A GStream is a
+"high-level virtual computing resource which [is] similar to threads for
+CPUs" — a simulation process bound to one GPU that executes GWork through
+the **three-stage pipeline**: host-to-device transfers (H2D), kernel
+execution (K) and device-to-host transfers (D2H) run as three coupled stage
+processes over the work's page-sized blocks, so block *k*'s kernel overlaps
+block *k+1*'s upload and block *k−1*'s download.  Whether H2D and D2H can
+overlap each other is decided by the device's copy-engine count (§4.1.2).
+
+Components (Fig. 4): the **GWork Scheduler** (Algorithm 5.1, in
+:mod:`repro.core.scheduling`), the **GWork Pool** (one FIFO queue per GPU),
+and the **GStream Pool** (streams grouped into per-GPU bulks, each stream
+stealing per Algorithm 5.2 when it runs dry).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Generator, Hashable, List, Optional
+
+import numpy as np
+
+from repro.common.errors import ConfigError, InterruptError
+from repro.common.resources import Store
+from repro.common.simclock import Environment, Event
+from repro.core.channels import CUDAWrapper
+from repro.core.gmemory import CacheRegion, GMemoryManager
+from repro.core.gwork import GWork
+from repro.core.hbuffer import Block, HBuffer
+from repro.core.scheduling import schedule_work, steal_work
+from repro.gpu.device import GPUDevice
+from repro.gpu.kernel import LaunchConfig
+from repro.gpu.memory import DeviceBuffer
+
+#: Primary input name: this buffer is blocked and pipelined; all other
+#: inputs ship whole before the pipeline starts (broadcast-style operands
+#: such as KMeans centers or the SpMV vector).
+PRIMARY = "in"
+
+#: Depth of the inter-stage queues: how many blocks may be in flight between
+#: two stages.  2 suffices for full overlap of a 3-stage linear pipeline.
+PIPELINE_DEPTH = 2
+
+
+class GStream:
+    """One virtual stream: a consumer process bound to a device."""
+
+    def __init__(self, env: Environment, manager: "GStreamManager",
+                 device_index: int, stream_index: int):
+        self.env = env
+        self.manager = manager
+        self.device_index = device_index
+        self.stream_index = stream_index
+        self.mailbox: Store = Store(env, capacity=1)
+        self.works_executed = 0
+        self.process = env.process(
+            self._run(), name=f"gstream-{device_index}-{stream_index}")
+
+    @property
+    def device(self) -> GPUDevice:
+        return self.manager.devices[self.device_index]
+
+    def _run(self) -> Generator[Event, None, None]:
+        while True:
+            work = yield self.mailbox.get()
+            if work is None:  # shutdown sentinel (tests)
+                return
+            while work is not None:
+                yield from self._execute(work)
+                # Algorithm 5.2: steal before going idle.
+                work = steal_work(self.device_index, self.manager.queues)
+            self.manager.mark_idle(self)
+
+    # -- one GWork through the three-stage pipeline --------------------------------
+    def _execute(self, work: GWork) -> Generator[Event, None, None]:
+        mgr = self.manager
+        work.assigned_device = self.device_index
+        device = self.device
+        region = (mgr.gmm.region(work.app_id, self.device_index)
+                  if work.cache else None)
+        live_before = {buf.buffer_id for buf in device.memory.live_buffers()}
+        try:
+            secondary = yield from self._stage_secondary_inputs(
+                work, device, region)
+            if work.mapped_memory:
+                output_elements = yield from self._mapped_execute(
+                    work, device, secondary)
+            else:
+                output_elements = yield from self._pipeline(
+                    work, device, region, secondary)
+        except Exception as exc:  # surface through the completion event
+            # Reclaim this work's in-flight allocations (cache-region
+            # buffers are unregistered views and survive): a retried work
+            # must not leak the device dry.
+            for buf in device.memory.live_buffers():
+                if buf.buffer_id not in live_before:
+                    device.memory.free(buf)
+            self._temp_secondary = []
+            if work.completion is not None and not work.completion.triggered:
+                work.completion.fail(exc)
+            self.works_executed += 1
+            return
+        out = work.out_buffer.derive(output_elements)
+        if work.out_element_nbytes is not None:
+            out.element_nbytes = work.out_element_nbytes
+        self.works_executed += 1
+        mgr.works_completed += 1
+        if work.completion is not None:
+            work.completion.succeed(out)
+
+    def _stage_secondary_inputs(self, work: GWork, device: GPUDevice,
+                                region: Optional[CacheRegion]
+                                ) -> Generator[Event, None, Dict[str, DeviceBuffer]]:
+        """Upload non-primary operands whole (cache-aware)."""
+        secondary: Dict[str, DeviceBuffer] = {}
+        self._temp_secondary: List[DeviceBuffer] = []
+        for name, hbuf in work.in_buffers.items():
+            if name == PRIMARY:
+                continue
+            key = (work.cache_key, name)
+            use_cache = region is not None and hbuf.cacheable
+            if use_cache:
+                entry = region.lookup(key)
+                if entry is not None:
+                    secondary[name] = entry.buffer
+                    continue
+                entry = region.try_insert(key, int(hbuf.nbytes))
+            else:
+                entry = None
+            if entry is not None:
+                dev_buf = entry.buffer
+            else:
+                dev_buf = yield from self.manager.wrapper.cuda_malloc(
+                    device, int(hbuf.nbytes))
+                self._temp_secondary.append(dev_buf)
+            whole = Block(index=0, elements=hbuf.elements,
+                          nominal_count=hbuf.nominal_count,
+                          nbytes=int(hbuf.nbytes))
+            yield from self.manager.wrapper.transfer_h2d_inline(
+                device, dev_buf, whole, hbuf, work.comm_mode)
+            secondary[name] = dev_buf
+        return secondary
+
+    def _pipeline(self, work: GWork, device: GPUDevice,
+                  region: Optional[CacheRegion],
+                  secondary: Dict[str, DeviceBuffer]
+                  ) -> Generator[Event, None, object]:
+        wrapper = self.manager.wrapper
+        primary = work.in_buffers[PRIMARY]
+        blocks = primary.split_blocks(self.manager.block_nbytes)
+        to_kernel: Store = Store(self.env, capacity=PIPELINE_DEPTH)
+        to_d2h: Store = Store(self.env, capacity=PIPELINE_DEPTH)
+        results: Dict[int, object] = {}
+
+        def h2d_stage():
+            for blk in blocks:
+                key = (work.cache_key, PRIMARY, blk.index)
+                dev_buf, temp = None, False
+                if region is not None:
+                    entry = region.lookup(key)
+                    if entry is not None and entry.buffer.data is not None:
+                        dev_buf = entry.buffer
+                if dev_buf is None:
+                    entry = (region.try_insert(key, blk.nbytes)
+                             if region is not None else None)
+                    if entry is not None:
+                        dev_buf = entry.buffer
+                    else:
+                        dev_buf = yield from wrapper.cuda_malloc(
+                            device, blk.nbytes)
+                        temp = True
+                    yield from wrapper.transfer_h2d_inline(
+                        device, dev_buf, blk, primary, work.comm_mode)
+                yield to_kernel.put((blk, dev_buf, temp))
+            yield to_kernel.put(None)
+
+        def kernel_stage():
+            while True:
+                item = yield to_kernel.get()
+                if item is None:
+                    yield to_d2h.put(None)
+                    return
+                blk, dev_buf, temp = item
+                out_nbytes = int(blk.nominal_count
+                                 * self._out_nbytes_per_element(work, primary))
+                out_dev = yield from wrapper.cuda_malloc(
+                    device, max(out_nbytes, 8))
+                launch = LaunchConfig.for_elements(
+                    max(blk.nominal_count, 1), work.block_size)
+                kernel_result = yield from wrapper.launch_kernel_inline(
+                    device, work.execute_name, blk.nominal_count, launch,
+                    inputs={PRIMARY: dev_buf, **secondary},
+                    outputs={"out": out_dev}, params=work.params,
+                    layout=primary.layout)
+                if temp:
+                    yield from wrapper.cuda_free(device, dev_buf)
+                yield to_d2h.put((blk, out_dev, kernel_result))
+
+        def d2h_stage():
+            while True:
+                item = yield to_d2h.get()
+                if item is None:
+                    return
+                blk, out_dev, kernel_result = item
+                out_real = _result_len(kernel_result.get("out"))
+                if out_real == blk.real_count:
+                    nominal_out = blk.nominal_count  # map-style kernel
+                else:
+                    nominal_out = out_real           # reduce-style partials
+                nbytes = int(max(
+                    nominal_out * self._out_nbytes_per_element(work, primary),
+                    1))
+                data = yield from wrapper.transfer_d2h_inline(
+                    device, work.out_buffer, out_dev, nbytes, work.comm_mode)
+                yield from wrapper.cuda_free(device, out_dev)
+                results[blk.index] = data
+
+        def guarded(stage_fn):
+            # A failing stage aborts the pipeline; its siblings are then
+            # interrupted and must exit quietly (no further allocations).
+            def runner():
+                try:
+                    yield from stage_fn()
+                except InterruptError:
+                    pass
+            return runner
+
+        stages = [self.env.process(guarded(h2d_stage)(), name="h2d-stage"),
+                  self.env.process(guarded(kernel_stage)(),
+                                   name="kernel-stage"),
+                  self.env.process(guarded(d2h_stage)(), name="d2h-stage")]
+        try:
+            yield self.env.all_of(stages)
+        except Exception:
+            for proc in stages:
+                if proc.is_alive:
+                    proc.interrupt("pipeline failed")
+            raise
+
+        for buf in self._temp_secondary:
+            yield from wrapper.cuda_free(device, buf)
+        self._temp_secondary = []
+        return _assemble(results)
+
+    def _mapped_execute(self, work: GWork, device: GPUDevice,
+                        secondary: Dict[str, DeviceBuffer]
+                        ) -> Generator[Event, None, object]:
+        """Zero-copy execution over device-mapped host memory (§4.1.2).
+
+        The kernel's loads and stores traverse PCIe directly: no explicit
+        copies, no copy-engine involvement — reads and writes overlap even
+        on a one-engine GPU (that is the whole point of mapped memory).
+        The cost is that every byte moves at PCIe speed *during* the kernel,
+        so the per-block time is ``max(kernel, max(in, out) wire time)``.
+        """
+        wrapper = self.manager.wrapper
+        primary = work.in_buffers[PRIMARY]
+        if not primary.pinned:
+            raise ConfigError(
+                "device-mapped execution requires a pinned (page-locked) "
+                "host buffer")
+        results: Dict[int, object] = {}
+        out_per_elem = self._out_nbytes_per_element(work, primary)
+        for blk in primary.split_blocks(self.manager.block_nbytes):
+            host_view = DeviceBuffer(blk.nbytes, device.name)
+            host_view.data = blk.elements
+            out_view = DeviceBuffer(int(max(blk.nominal_count
+                                            * out_per_elem, 8)), device.name)
+            launch = LaunchConfig.for_elements(max(blk.nominal_count, 1),
+                                               work.block_size)
+            spec = wrapper.runtime.registry.get(work.execute_name)
+            kernel_s = spec.execution_seconds(
+                blk.nominal_count, launch, device.spec,
+                layout=primary.layout)
+            out_real_guess = blk.nominal_count  # map-style upper bound
+            wire_in = blk.nbytes / device.spec.pcie_effective_bps
+            wire_out = (out_real_guess * out_per_elem
+                        / device.spec.pcie_effective_bps)
+            # Kernel and both wire directions fully overlap.
+            mapped_s = max(kernel_s, wire_in, wire_out)
+            with device.compute.request() as grant:
+                yield grant
+                yield wrapper._jni()
+                yield self.env.timeout(mapped_s)
+                device.kernel_seconds += kernel_s
+                device.kernels_launched += 1
+                device.h2d_bytes += blk.nbytes
+                in_arrays = {PRIMARY: host_view.data,
+                             **{k: v.data for k, v in secondary.items()}}
+                out = spec.fn(in_arrays, dict(work.params))
+                if "out" not in out:
+                    raise ConfigError(
+                        f"kernel {work.execute_name!r} produced no 'out'")
+                device.d2h_bytes += int(
+                    _result_len(out["out"]) * primary.scale * out_per_elem)
+                results[blk.index] = out["out"]
+        for buf in self._temp_secondary:
+            yield from wrapper.cuda_free(device, buf)
+        self._temp_secondary = []
+        return _assemble(results)
+
+    @staticmethod
+    def _out_nbytes_per_element(work: GWork, primary: HBuffer) -> float:
+        if work.out_element_nbytes is not None:
+            return work.out_element_nbytes
+        if work.out_buffer.element_nbytes > 0:
+            return work.out_buffer.element_nbytes
+        return primary.element_nbytes
+
+
+def _result_len(data: object) -> int:
+    if data is None:
+        return 0
+    if isinstance(data, np.ndarray):
+        return int(data.shape[0]) if data.ndim else 1
+    try:
+        return len(data)  # type: ignore[arg-type]
+    except TypeError:
+        return 1
+
+
+def _assemble(results: Dict[int, object]) -> object:
+    """Concatenate per-block outputs in block order."""
+    ordered = [results[i] for i in sorted(results)]
+    if not ordered:
+        return []
+    if all(isinstance(r, np.ndarray) for r in ordered):
+        arrays = [r if r.ndim else r.reshape(1) for r in ordered]
+        return arrays[0] if len(arrays) == 1 else np.concatenate(arrays)
+    merged: List[object] = []
+    for r in ordered:
+        if isinstance(r, (list, tuple)):
+            merged.extend(r)
+        elif isinstance(r, np.ndarray):
+            merged.extend(list(r))
+        else:
+            merged.append(r)
+    return merged
+
+
+class GStreamManager:
+    """Per-worker GWork scheduler + stream pool + work pool (Fig. 4)."""
+
+    def __init__(self, env: Environment, devices: List[GPUDevice],
+                 wrapper: CUDAWrapper, gmm: GMemoryManager,
+                 streams_per_gpu: int = 2,
+                 block_nbytes: int = 8 * (1 << 20),
+                 locality_aware: bool = True):
+        if streams_per_gpu < 1:
+            raise ConfigError("streams_per_gpu must be >= 1")
+        if block_nbytes <= 0:
+            raise ConfigError("block_nbytes must be positive")
+        self.env = env
+        self.devices = list(devices)
+        self.wrapper = wrapper
+        self.gmm = gmm
+        self.block_nbytes = block_nbytes
+        # Ablation switch: with locality off, Algorithm 5.1's GID step is
+        # skipped and work balances blindly across bulks.
+        self.locality_aware = locality_aware
+        self.queues: List[Deque[GWork]] = [deque() for _ in devices]
+        self.bulks: List[List[GStream]] = []
+        self.idle: List[List[GStream]] = []
+        for gid in range(len(devices)):
+            bulk = [GStream(env, self, gid, s) for s in range(streams_per_gpu)]
+            self.bulks.append(bulk)
+            self.idle.append(list(bulk))
+        self.works_submitted = 0
+        self.works_completed = 0
+
+    # -- producer side ------------------------------------------------------------
+    def submit(self, work: GWork) -> Event:
+        """Submit a GWork; returns its completion event (Algorithm 5.1)."""
+        work.completion = self.env.event()
+        self.works_submitted += 1
+        keys = self._locality_keys(work) if self.locality_aware else []
+        decision = schedule_work(work, self.gmm, keys,
+                                 self.idle, self.queues)
+        if decision.stream is not None:
+            stream = decision.stream
+            self.idle[stream.device_index].remove(stream)
+            stream.mailbox.put(work)
+        else:
+            self.queues[decision.queue_index].append(work)
+        return work.completion
+
+    def _locality_keys(self, work: GWork) -> List[Hashable]:
+        if not work.cache:
+            return []
+        keys: List[Hashable] = []
+        for name, hbuf in work.in_buffers.items():
+            if name == PRIMARY:
+                blocks = hbuf.split_blocks(self.block_nbytes)
+                keys.extend((work.cache_key, PRIMARY, b.index)
+                            for b in blocks)
+            else:
+                keys.append((work.cache_key, name))
+        return keys
+
+    # -- consumer side --------------------------------------------------------------
+    def mark_idle(self, stream: GStream) -> None:
+        """A stream found no work to steal and parks itself."""
+        if stream not in self.idle[stream.device_index]:
+            self.idle[stream.device_index].append(stream)
+
+    # -- observability -------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """GWorks waiting in the pool."""
+        return sum(len(q) for q in self.queues)
+
+    def idle_stream_count(self) -> int:
+        return sum(len(b) for b in self.idle)

@@ -1,0 +1,72 @@
+"""GWork: the unit of GPU work (paper §3.5.3, Algorithm 3.1).
+
+The driver assembles a GWork — input/output buffers, the kernel ("ptx path"
+plus the exported function name), launch geometry, cache flags — and submits
+it to the worker's GStreamManager.  "After submission, the input buffer and
+output buffer will be transformed to GPUs automatically ... After executions
+on GPUs, the results are pulled from GPUs to output buffer automatically."
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Hashable, Optional
+
+from repro.common.errors import ConfigError
+from repro.common.simclock import Event
+from repro.core.channels import CommMode
+from repro.core.hbuffer import HBuffer
+
+_gwork_ids = itertools.count()
+
+
+@dataclass
+class GWork:
+    """One schedulable piece of GPU work.
+
+    Field names mirror Algorithm 3.1 (``ptxPath``, ``executeName``,
+    ``blockSize``/``gridSize``, ``inBuffer``/``outBuffer``, ``cache``,
+    ``cacheKey``), pythonized.
+    """
+
+    execute_name: str                       # registered kernel name
+    in_buffers: Dict[str, HBuffer]          # kernel arg name -> host buffer
+    out_buffer: HBuffer                     # results land here
+    size: float                             # nominal element count
+    ptx_path: str = ""                      # informational, as in the paper
+    block_size: int = 256                   # CUDA threads per block
+    grid_size: Optional[int] = None         # None: derived from size
+    cache: bool = False                     # cache inputs on the device
+    cache_key: Optional[Hashable] = None    # e.g. (partition id, block id)
+    params: Dict[str, Any] = field(default_factory=dict)
+    app_id: str = "default"                 # owns the device cache region
+    out_element_nbytes: Optional[float] = None
+    #: §4.1.2: "The only way for these [one-copy-engine] GPUs to use the
+    #: PCIe bus in full duplex is to use device-mapped host memory instead."
+    #: When set, the kernel reads/writes the pinned host buffers directly
+    #: over PCIe (zero copy): no explicit H2D/D2H, reads and writes overlap.
+    mapped_memory: bool = False
+
+    # Runtime state (set by the GStreamManager).
+    work_id: int = field(default_factory=lambda: next(_gwork_ids))
+    comm_mode: CommMode = CommMode.GFLINK
+    completion: Optional[Event] = None
+    assigned_device: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise ConfigError(f"GWork size must be >= 0: {self.size}")
+        if self.cache and self.cache_key is None:
+            raise ConfigError("cache=True requires a cache_key")
+        if not self.in_buffers:
+            raise ConfigError("GWork needs at least one input buffer")
+
+    @property
+    def input_nbytes(self) -> float:
+        """Total nominal input bytes (drives locality decisions)."""
+        return sum(h.nbytes for h in self.in_buffers.values())
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"<GWork #{self.work_id} {self.execute_name} "
+                f"n={self.size:.3g} cache={self.cache}>")

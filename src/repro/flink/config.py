@@ -1,0 +1,111 @@
+"""Configuration objects for the Flink substrate and the simulated cluster."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigError
+from repro.common.network import NetworkConfig
+from repro.hdfs.datanode import DiskConfig
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """One CPU socket of a worker node.
+
+    The paper's testbed uses an Intel Core i5-4590 (4 cores @ 3.3 GHz).  The
+    throughput figure is *sustained scalar* throughput of JVM iterator code,
+    not peak SIMD — Flink UDFs run one element at a time through megamorphic
+    call sites, which is exactly why the paper's GPU speedups are large.
+    """
+
+    name: str = "i5-4590"
+    cores: int = 4
+    clock_ghz: float = 3.3
+    flops_per_core: float = 4.0e9  # sustained scalar FLOP/s in iterator code
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ConfigError(f"cores must be >= 1, got {self.cores}")
+        if self.flops_per_core <= 0:
+            raise ConfigError("flops_per_core must be positive")
+
+
+@dataclass(frozen=True)
+class FlinkConfig:
+    """Engine calibration constants (DESIGN.md §5).
+
+    All times in seconds, sizes in bytes, rates in bytes or FLOPs per second.
+    """
+
+    # Memory management: Flink manages memory in fixed-size pages; GFlink's
+    # block size defaults to one page (§5.1 of the paper).
+    page_size: int = 32 * 1024
+    managed_memory_per_worker: int = 8 * (1 << 30)
+
+    # Iterator execution model: per-element virtual-call + iterator overhead.
+    element_overhead_s: float = 120e-9
+
+    # Serialization between JVM objects and bytes (shuffle, heap-path GPU I/O).
+    serde_bps: float = 0.8e9
+    # Copy between JVM heap and native memory (baseline GPU path only).
+    heap_copy_bps: float = 4.0e9
+
+    # Job-level fixed overheads (Observation 3 in §6.3: these dominate small
+    # inputs and cap the speedup of short jobs).
+    job_submit_s: float = 0.6
+    task_schedule_s: float = 1.5e-3
+    task_deploy_s: float = 2.0e-3
+
+    # Fault tolerance.
+    max_task_retries: int = 3
+
+    # Operator chaining: fuse element-wise operator chains into one task
+    # (Flink's default behavior); see repro.flink.optimizer.
+    enable_chaining: bool = True
+
+    def __post_init__(self) -> None:
+        if self.page_size <= 0:
+            raise ConfigError("page_size must be positive")
+        if self.serde_bps <= 0 or self.heap_copy_bps <= 0:
+            raise ConfigError("bandwidths must be positive")
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Shape of the simulated cluster.
+
+    ``gpus_per_worker`` is a list of GPU spec names (see
+    :mod:`repro.gpu.specs`); the plain Flink substrate ignores it, the GFlink
+    runtime attaches a GPUManager per worker from it.
+    """
+
+    n_workers: int = 10
+    cpu: CPUSpec = field(default_factory=CPUSpec)
+    gpus_per_worker: tuple[str, ...] = ()
+    slots_per_worker: int | None = None  # default: one per CPU core
+    flink: FlinkConfig = field(default_factory=FlinkConfig)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    disk: DiskConfig = field(default_factory=DiskConfig)
+    hdfs_replication: int = 2
+
+    def __post_init__(self) -> None:
+        if self.n_workers < 1:
+            raise ConfigError(f"n_workers must be >= 1, got {self.n_workers}")
+        slots = self.slots_per_worker
+        if slots is not None and slots < 1:
+            raise ConfigError(f"slots_per_worker must be >= 1, got {slots}")
+
+    @property
+    def slots(self) -> int:
+        """Task slots per worker (defaults to the CPU core count)."""
+        return self.slots_per_worker or self.cpu.cores
+
+    @property
+    def total_slots(self) -> int:
+        """Task slots across the whole cluster."""
+        return self.n_workers * self.slots
+
+    def worker_names(self) -> list[str]:
+        """Stable worker node names, ``worker0..workerN-1``."""
+        return [f"worker{i}" for i in range(self.n_workers)]

@@ -1,0 +1,52 @@
+"""Fault tolerance: failure injection and the task-failure exception.
+
+Flink's reliability ("replication and error detection to schedule around
+failures", paper §1.1) is the reason GFlink is built on top of it.  We model
+the visible contract: a subtask attempt may fail; the JobManager re-executes
+it up to ``max_task_retries`` times; the job fails only when an attempt
+budget is exhausted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.common.errors import JobExecutionError
+
+
+class TaskFailure(JobExecutionError):
+    """A single subtask attempt failed (retryable)."""
+
+    def __init__(self, op_name: str, subtask: int, attempt: int,
+                 cause: str = "injected failure"):
+        super().__init__(
+            f"task {op_name}[{subtask}] attempt {attempt} failed: {cause}")
+        self.op_name = op_name
+        self.subtask = subtask
+        self.attempt = attempt
+        self.cause = cause
+
+
+@dataclass
+class FailureInjector:
+    """Deterministic failure injection for tests and resilience benchmarks.
+
+    ``plan`` maps ``(op_name, subtask_index)`` to the number of attempts that
+    should fail before one succeeds.  ``should_fail`` may also be supplied for
+    arbitrary policies; it wins when both are present.
+    """
+
+    plan: dict = field(default_factory=dict)
+    should_fail: Optional[Callable[[str, int, int], bool]] = None
+    failures_injected: int = 0
+
+    def check(self, op_name: str, subtask: int, attempt: int) -> bool:
+        """True if this attempt must fail."""
+        if self.should_fail is not None:
+            verdict = self.should_fail(op_name, subtask, attempt)
+        else:
+            verdict = attempt < self.plan.get((op_name, subtask), 0)
+        if verdict:
+            self.failures_injected += 1
+        return verdict

@@ -1,0 +1,98 @@
+"""Functional execution of user functions over partition payloads.
+
+The *timing* of CPU operators follows Flink's one-element-at-a-time iterator
+model (per-element overhead plus per-element FLOPs — see
+:meth:`repro.flink.jobmanager.TaskContext.charge_compute`).  The *functional*
+result is computed here, preferring a vectorized whole-partition call when the
+UDF opts in via :func:`vectorized` — per the HPC guide, NumPy vectorization is
+how we make the sample computation cheap without changing the modeled cost.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List
+
+import numpy as np
+
+
+def vectorized(udf: Callable) -> Callable:
+    """Mark ``udf`` as operating on a whole partition payload at once.
+
+    A vectorized map receives the partition's elements (list or ndarray) and
+    returns the transformed elements; a vectorized filter returns a boolean
+    mask or a filtered payload.
+    """
+    udf.__repro_vectorized__ = True
+    return udf
+
+
+def is_vectorized(udf: Callable) -> bool:
+    """True if ``udf`` was wrapped with :func:`vectorized`."""
+    return getattr(udf, "__repro_vectorized__", False)
+
+
+def _is_empty(elements: Any) -> bool:
+    if elements is None:
+        return True
+    if isinstance(elements, np.ndarray):
+        return elements.shape[0] == 0 if elements.ndim else False
+    return len(elements) == 0
+
+
+def apply_map(elements: Any, udf: Callable) -> Any:
+    """``map``: one output element per input element."""
+    if _is_empty(elements):
+        return elements
+    if is_vectorized(udf):
+        return udf(elements)
+    if isinstance(elements, np.ndarray):
+        return np.array([udf(x) for x in elements])
+    return [udf(x) for x in elements]
+
+
+def apply_filter(elements: Any, udf: Callable) -> Any:
+    """``filter``: keep elements where the predicate holds."""
+    if _is_empty(elements):
+        return elements
+    if is_vectorized(udf):
+        result = udf(elements)
+        if isinstance(result, np.ndarray) and result.dtype == bool:
+            return elements[result]
+        return result
+    if isinstance(elements, np.ndarray):
+        mask = np.fromiter((bool(udf(x)) for x in elements),
+                           dtype=bool, count=len(elements))
+        return elements[mask]
+    return [x for x in elements if udf(x)]
+
+
+def apply_flat_map(elements: Any, udf: Callable) -> List[Any]:
+    """``flatMap``: zero or more output elements per input element."""
+    if _is_empty(elements):
+        return []
+    if is_vectorized(udf):
+        return udf(elements)
+    out: List[Any] = []
+    for x in elements:
+        out.extend(udf(x))
+    return out
+
+
+def apply_reduce(elements: Any, udf: Callable) -> Any:
+    """``reduce``: pairwise fold of all elements into one value."""
+    iterator = iter(elements)
+    try:
+        acc = next(iterator)
+    except StopIteration:
+        return None
+    for x in iterator:
+        acc = udf(acc, x)
+    return acc
+
+
+def group_elements(elements: Iterable[Any], key_fn: Callable) -> dict:
+    """Group elements by ``key_fn`` preserving first-seen key order."""
+    groups: dict = {}
+    for x in elements:
+        groups.setdefault(key_fn(x), []).append(x)
+    return groups

@@ -1,0 +1,303 @@
+"""JobManager: compiles plans, schedules subtasks, supervises execution.
+
+One JobManager runs on the master ("the coordinator of the GFlink system",
+paper §3.3).  For each job it:
+
+1. charges the job-submission overhead (Eq. 1's ``T_submit``),
+2. compiles the logical plan into an :class:`~repro.flink.graph.ExecutionGraph`,
+3. walks operators in dependency order, skipping any already materialized
+   (persisted datasets from earlier jobs — the in-memory iteration path),
+4. runs the data exchange for each input edge, then the operator's subtasks
+   in task slots with per-task scheduling/deploy overhead and retry-on-failure,
+5. extracts sink results and evicts non-persisted intermediates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Set, TYPE_CHECKING
+
+from repro.common.errors import JobExecutionError
+from repro.common.simclock import Environment, Event
+from repro.flink.fault import FailureInjector, TaskFailure
+from repro.flink.graph import ExecutionGraph, ExecutionVertex
+from repro.flink.partition import Partition, split_evenly
+from repro.flink.plan import (
+    CollectionSource,
+    CollectSink,
+    CountSink,
+    HdfsSink,
+    HdfsSource,
+    Operator,
+)
+from repro.flink.scheduler import Scheduler
+from repro.flink.shuffle import Exchange
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.flink.runtime import Cluster
+
+
+@dataclass
+class OperatorSpan:
+    """Wall-clock span of one operator's subtask wave."""
+
+    name: str
+    parallelism: int
+    start: float
+    end: float
+
+    @property
+    def seconds(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class JobMetrics:
+    """Accounting for one job execution (drives Eq. 1–4 style analysis)."""
+
+    job_name: str
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    submit_s: float = 0.0
+    schedule_s: float = 0.0
+    compute_s: float = 0.0          # summed across subtasks (CPU-seconds)
+    gpu_kernel_s: float = 0.0       # summed kernel time (GFlink operators)
+    pcie_bytes: float = 0.0         # H2D+D2H traffic (GFlink operators)
+    shuffle_bytes: float = 0.0
+    hdfs_read_bytes: float = 0.0
+    hdfs_write_bytes: float = 0.0
+    retries: int = 0
+    subtasks: int = 0
+    operator_spans: Dict[int, OperatorSpan] = field(default_factory=dict)
+    #: Operators materialized by THIS job (cleanup is per-job so concurrent
+    #: applications on one cluster do not evict each other's intermediates).
+    materialized_uids: Set[int] = field(default_factory=set)
+
+    @property
+    def makespan(self) -> float:
+        """Simulated wall time of the whole job."""
+        return self.finished_at - self.started_at
+
+    def span_of(self, name: str) -> Optional[OperatorSpan]:
+        """First operator span with the given name (convenience for tests)."""
+        for span in self.operator_spans.values():
+            if span.name == name:
+                return span
+        return None
+
+
+class TaskContext:
+    """Everything a subtask needs at run time.
+
+    GPU operators reach their worker's GPUManager via ``worker.gpumanager``;
+    CPU operators use :meth:`charge_compute`, which implements the
+    one-element-at-a-time iterator cost model.
+    """
+
+    def __init__(self, cluster: "Cluster", vertex: ExecutionVertex,
+                 metrics: JobMetrics, n_subtasks: int,
+                 preassigned_partition: Optional[Partition] = None):
+        self.cluster = cluster
+        self.env: Environment = cluster.env
+        self.worker = cluster.workers[vertex.worker]
+        self.master_name = cluster.master_name
+        self.config = cluster.config
+        self.network = cluster.network
+        self.hdfs = cluster.hdfs
+        self.serializer = cluster.serializer
+        self.metrics = metrics
+        self.subtask_index = vertex.subtask_index
+        self.n_subtasks = n_subtasks
+        self.assigned_blocks = vertex.assigned_blocks
+        self.preassigned_partition = preassigned_partition
+
+    def charge_compute(self, nominal_elements: float,
+                       flops_per_element: float,
+                       element_overhead_s: Optional[float] = None
+                       ) -> Generator[Event, None, None]:
+        """Charge CPU time for processing ``nominal_elements`` elements.
+
+        ``time = n * (iterator_overhead + flops / per-core-throughput)`` —
+        the iterator model of §3.1: each element pays a virtual call before
+        its arithmetic.  ``element_overhead_s`` overrides the engine default
+        for object-heavy UDFs (see :class:`repro.flink.plan.OpCost`).
+        """
+        overhead = (self.config.flink.element_overhead_s
+                    if element_overhead_s is None else element_overhead_s)
+        per_element = (overhead
+                       + flops_per_element / self.config.cpu.flops_per_core)
+        seconds = nominal_elements * per_element
+        self.metrics.compute_s += seconds
+        yield self.env.timeout(seconds)
+
+    def hdfs_append(self, path: str, payload: Any,
+                    nbytes: int) -> Generator[Event, None, None]:
+        """Append one block to ``path`` from this subtask's worker."""
+        yield from self.hdfs.append_block(path, payload, nbytes,
+                                          writer_node=self.worker.name)
+
+
+class JobManager:
+    """Coordinates job execution on the cluster master."""
+
+    def __init__(self, cluster: "Cluster"):
+        self.cluster = cluster
+        self.env = cluster.env
+        self.config = cluster.config
+        self.jobs_run = 0
+
+    # -- main entry point ------------------------------------------------------
+    def run_job(self, sinks: List[Operator], job_name: str,
+                failure_injector: Optional[FailureInjector] = None
+                ) -> Generator[Event, None, JobMetrics]:
+        """Simulation process executing one job; returns its metrics.
+
+        Sink outputs are left in ``cluster.materialized`` for the session to
+        extract before cleanup (see :meth:`cleanup`).
+        """
+        metrics = JobMetrics(job_name=job_name, started_at=self.env.now)
+        hdfs_read0 = self.cluster.hdfs.total_bytes_read()
+        hdfs_write0 = self.cluster.hdfs.total_bytes_written()
+
+        yield self.env.timeout(self.config.flink.job_submit_s)
+        metrics.submit_s = self.config.flink.job_submit_s
+
+        if self.config.flink.enable_chaining:
+            from repro.flink.optimizer import apply_chaining
+            sinks = apply_chaining(sinks)
+        graph = ExecutionGraph(sinks, self.cluster.default_parallelism)
+        scheduler = Scheduler(self.config.worker_names())
+
+        for op in graph.order:
+            if op.uid in self.cluster.materialized:
+                continue
+            yield from self._run_operator(op, graph, scheduler, metrics,
+                                          failure_injector)
+            metrics.materialized_uids.add(op.uid)
+
+        metrics.finished_at = self.env.now
+        metrics.hdfs_read_bytes = (self.cluster.hdfs.total_bytes_read()
+                                   - hdfs_read0)
+        metrics.hdfs_write_bytes = (self.cluster.hdfs.total_bytes_written()
+                                    - hdfs_write0)
+        self.jobs_run += 1
+        return metrics
+
+    # -- per-operator execution ----------------------------------------------------
+    def _run_operator(self, op: Operator, graph: ExecutionGraph,
+                      scheduler: Scheduler, metrics: JobMetrics,
+                      injector: Optional[FailureInjector]
+                      ) -> Generator[Event, None, None]:
+        jv = graph.job_vertex(op)
+        preassigned: List[Optional[Partition]] = [None] * jv.parallelism
+        per_subtask_inputs: List[List[Partition]] = [
+            [] for _ in range(jv.parallelism)]
+
+        if isinstance(op, HdfsSource):
+            scheduler.schedule_source(jv, self.cluster.hdfs)
+        elif isinstance(op, CollectionSource):
+            parts = split_evenly(op.elements, jv.parallelism,
+                                 op.element_nbytes, op.scale)
+            scheduler.schedule_collection_source(jv, parts)
+            preassigned = list(parts)
+        else:
+            producer_parts = [self.cluster.materialized[inp.uid]
+                              for inp in op.inputs]
+            scheduler.schedule_consumer(jv, graph, producer_parts)
+            consumer_workers = [v.worker for v in jv.subtasks]
+            for k, (inp, strat) in enumerate(zip(op.inputs, op.strategies)):
+                exchange = Exchange(
+                    self.env, self.cluster.network, self.cluster.serializer,
+                    strat, producer_parts[k], jv.parallelism,
+                    consumer_workers, key_fn=op.key_fn_for_input(k),
+                    combiner=op.combiner_for_input(k))
+                result = yield self.env.process(
+                    exchange.run(), name=f"exchange-{op.name}-{k}")
+                metrics.shuffle_bytes += result.bytes_shuffled
+                for j, part in enumerate(result.inputs):
+                    per_subtask_inputs[j].append(part)
+
+        if isinstance(op, HdfsSink):
+            self.cluster.hdfs.namenode.create_file(op.path)
+
+        start = self.env.now
+        subtask_procs = [
+            self.env.process(
+                self._run_subtask(vertex, per_subtask_inputs[i],
+                                  preassigned[i], jv.parallelism, metrics,
+                                  injector),
+                name=f"{op.name}[{i}]")
+            for i, vertex in enumerate(jv.subtasks)
+        ]
+        results = yield self.env.all_of(subtask_procs)
+        outputs = sorted(results.values(), key=lambda p: p.index)
+
+        metrics.operator_spans[op.uid] = OperatorSpan(
+            name=op.name, parallelism=jv.parallelism,
+            start=start, end=self.env.now)
+        metrics.subtasks += jv.parallelism
+
+        self.cluster.materialized[op.uid] = outputs
+        for part in outputs:
+            worker = self.cluster.workers.get(part.worker)
+            if worker is not None:
+                worker.taskmanager.put_partition(op.uid, part)
+        scheduler.release(jv)
+
+    def _run_subtask(self, vertex: ExecutionVertex,
+                     inputs: List[Partition],
+                     preassigned: Optional[Partition],
+                     n_subtasks: int, metrics: JobMetrics,
+                     injector: Optional[FailureInjector]
+                     ) -> Generator[Event, None, Partition]:
+        op = vertex.op
+        worker = self.cluster.workers[vertex.worker]
+        flink = self.config.flink
+        while True:
+            with worker.taskmanager.slots.request() as slot:
+                yield slot
+                overhead = flink.task_schedule_s + flink.task_deploy_s
+                metrics.schedule_s += overhead
+                yield self.env.timeout(overhead)
+                ctx = TaskContext(self.cluster, vertex, metrics, n_subtasks,
+                                  preassigned_partition=preassigned)
+                try:
+                    if injector is not None and injector.check(
+                            op.name, vertex.subtask_index, vertex.attempts):
+                        raise TaskFailure(op.name, vertex.subtask_index,
+                                          vertex.attempts)
+                    partition = yield from op.execute_subtask(ctx, inputs)
+                except TaskFailure as failure:
+                    vertex.attempts += 1
+                    metrics.retries += 1
+                    if vertex.attempts > flink.max_task_retries:
+                        raise JobExecutionError(
+                            f"{op.name}[{vertex.subtask_index}] failed "
+                            f"after {vertex.attempts} attempts"
+                        ) from failure
+                    continue  # release the slot, retry from scratch
+                worker.taskmanager.tasks_executed += 1
+                return partition
+
+    # -- cleanup -------------------------------------------------------------------
+    def extract_result(self, sink: Operator) -> Any:
+        """Pull a sink's driver-visible value from the materialized store."""
+        partitions = self.cluster.materialized.get(sink.uid, [])
+        if isinstance(sink, CollectSink):
+            return partitions[0].elements if partitions else []
+        if isinstance(sink, CountSink):
+            return partitions[0].elements[0] if partitions else 0.0
+        if isinstance(sink, HdfsSink):
+            return sink.path
+        return None
+
+    def cleanup(self, graph_order: List[Operator],
+                materialized_uids: Set[int]) -> None:
+        """Evict this job's non-persisted intermediates and sink outputs."""
+        for op in graph_order:
+            if op.uid not in materialized_uids:
+                continue
+            if not op.persisted:
+                self.cluster.materialized.pop(op.uid, None)
+                for worker in self.cluster.workers.values():
+                    worker.taskmanager.drop_dataset(op.uid)

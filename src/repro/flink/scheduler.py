@@ -1,0 +1,122 @@
+"""Slot scheduler: assigns subtasks to workers with locality preferences.
+
+Placement rules (matching Flink's behavior closely enough for the paper's
+experiments):
+
+* HDFS sources — blocks are dealt round-robin to subtasks; a subtask runs on
+  a worker holding a replica of its first block when possible (input
+  locality), otherwise on the least-loaded worker.
+* FORWARD consumers — co-located with their input partition (chaining
+  locality: no network on the forward edge).
+* Shuffle/gather/broadcast consumers — spread round-robin by load.
+
+The scheduler only picks *placement*; slot *contention* is enforced at run
+time by each TaskManager's slot resource.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.flink.graph import ExecutionGraph, ExecutionJobVertex
+from repro.flink.plan import HdfsSource, ShipStrategy
+from repro.flink.partition import Partition
+from repro.hdfs.filesystem import HDFS
+
+
+class Scheduler:
+    """Fills in worker assignments for an execution graph, operator by operator."""
+
+    def __init__(self, worker_names: List[str]):
+        self.worker_names = list(worker_names)
+        self._load: Dict[str, int] = {w: 0 for w in worker_names}
+
+    # -- helpers ---------------------------------------------------------------
+    def _least_loaded(self) -> str:
+        return min(self.worker_names, key=lambda w: (self._load[w], w))
+
+    def _assign(self, worker: str) -> str:
+        self._load[worker] += 1
+        return worker
+
+    # -- per-operator scheduling ---------------------------------------------------
+    def schedule_source(self, jv: ExecutionJobVertex, hdfs: HDFS) -> None:
+        """Assign HDFS blocks and workers to a source's subtasks."""
+        op = jv.op
+        assert isinstance(op, HdfsSource)
+        blocks = hdfs.locate(op.path)
+        # Contiguous ranges (like FileInputFormat splits), so that gathering
+        # partitions in subtask order preserves the file's element order —
+        # positional workloads (SpMV rows) depend on this.
+        n = jv.parallelism
+        bounds = [round(i * len(blocks) / n) for i in range(n + 1)]
+        for i in range(n):
+            jv.subtasks[i].assigned_blocks.extend(blocks[bounds[i]:bounds[i + 1]])
+        for vertex in jv.subtasks:
+            local_candidates = [
+                w for w in self.worker_names
+                if vertex.assigned_blocks
+                and vertex.assigned_blocks[0].is_local_to(w)
+            ]
+            worker = self._least_loaded()
+            if local_candidates:
+                best_local = min(local_candidates,
+                                 key=lambda w: self._load[w])
+                # Prefer locality, but never at the cost of a second task
+                # wave: if every local replica host is busier than the
+                # least-loaded worker, spread instead (a remote HDFS read is
+                # cheaper than queueing behind a slot).
+                if self._load[best_local] <= self._load[worker]:
+                    worker = best_local
+            vertex.worker = self._assign(worker)
+
+    def schedule_collection_source(self, jv: ExecutionJobVertex,
+                                   partitions: List[Partition]) -> None:
+        """Spread a collection source's pre-split partitions across workers."""
+        for vertex, part in zip(jv.subtasks, partitions):
+            worker = self._least_loaded()
+            vertex.worker = self._assign(worker)
+            part.worker = vertex.worker
+
+    def schedule_consumer(self, jv: ExecutionJobVertex,
+                          graph: ExecutionGraph,
+                          input_partitions: List[List[Partition]]) -> None:
+        """Assign workers to a non-source operator's subtasks.
+
+        ``input_partitions[k]`` holds the materialized partitions of input
+        ``k`` (for locality decisions).
+        """
+        op = jv.op
+        forward_idx = None
+        for k, strat in enumerate(op.strategies):
+            if strat is ShipStrategy.FORWARD:
+                forward_idx = k
+                break
+        union = ShipStrategy.UNION_LEFT in op.strategies
+        for vertex in jv.subtasks:
+            home = None
+            if union:
+                # Subtask j consumes left partition j, or right partition
+                # j - p_left: co-locate with whichever feeds it.
+                left = input_partitions[0]
+                right = input_partitions[1] if len(input_partitions) > 1 \
+                    else []
+                j = vertex.subtask_index
+                if j < len(left):
+                    home = left[j].worker
+                elif j - len(left) < len(right):
+                    home = right[j - len(left)].worker
+            elif forward_idx is not None:
+                parts = input_partitions[forward_idx]
+                if vertex.subtask_index < len(parts):
+                    home = parts[vertex.subtask_index].worker
+            if home is not None and home in self._load:
+                vertex.worker = self._assign(home)
+            else:
+                vertex.worker = self._assign(self._least_loaded())
+
+    def release(self, jv: ExecutionJobVertex) -> None:
+        """Forget load contributed by a finished operator."""
+        for vertex in jv.subtasks:
+            if vertex.worker is not None:
+                self._load[vertex.worker] -= 1

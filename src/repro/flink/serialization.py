@@ -1,0 +1,44 @@
+"""Serialization cost model.
+
+The engine never needs to *actually* serialize (everything lives in one
+Python process), but serde time is a first-order term in the paper's
+analysis: shuffles serialize on the sender and deserialize on the receiver,
+and the naive JVM-heap GPU path (§2.3/§3.1) pays object→buffer conversion
+that GFlink's GStruct layout avoids.  This module centralizes those charges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SerdeStats:
+    """Accumulated serialization work (for metrics and assertions)."""
+
+    bytes_serialized: float = 0.0
+    bytes_deserialized: float = 0.0
+
+
+class Serializer:
+    """Charges serialization/deserialization time at a calibrated rate."""
+
+    def __init__(self, serde_bps: float, record_overhead_s: float = 15e-9):
+        self.serde_bps = serde_bps
+        self.record_overhead_s = record_overhead_s
+        self.bytes_serialized = 0.0
+        self.bytes_deserialized = 0.0
+
+    def serialize_time(self, nbytes: float, nrecords: float = 0.0) -> float:
+        """Seconds to turn ``nrecords`` objects totaling ``nbytes`` into bytes."""
+        self.bytes_serialized += nbytes
+        return nbytes / self.serde_bps + nrecords * self.record_overhead_s
+
+    def deserialize_time(self, nbytes: float, nrecords: float = 0.0) -> float:
+        """Seconds to materialize objects from ``nbytes`` of wire data."""
+        self.bytes_deserialized += nbytes
+        return nbytes / self.serde_bps + nrecords * self.record_overhead_s
+
+    def stats(self) -> SerdeStats:
+        """Snapshot of accumulated serde byte counts."""
+        return SerdeStats(self.bytes_serialized, self.bytes_deserialized)

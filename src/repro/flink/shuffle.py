@@ -1,0 +1,264 @@
+"""Data exchange between operators: forward, hash shuffle, broadcast, gather.
+
+An :class:`Exchange` moves the materialized output partitions of a producer
+operator to the consumer's subtasks according to a
+:class:`~repro.flink.plan.ShipStrategy`.  Producer-side work (pre-combine,
+serialization) runs as processes on the producer's workers; wire time goes
+through the shared :class:`~repro.common.network.Network`; consumers pay
+deserialization.  Functional element routing (hash bucketing, combining) is
+computed for real so downstream results are correct.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.common.network import Network
+from repro.common.simclock import Environment, Event
+from repro.flink.iterators import apply_reduce, group_elements
+from repro.flink.partition import Partition, real_len
+from repro.flink.plan import ShipStrategy
+from repro.flink.serialization import Serializer
+
+
+#: Sentinel combiner: replace each bucket by its (nominal) element count.
+#: Lets ``count()`` ship 8 bytes per producer instead of the whole dataset.
+COUNT_COMBINER = object()
+
+
+def hash_bucket(key: Any, n: int) -> int:
+    """Deterministic bucket for ``key`` among ``n`` consumers.
+
+    Python's builtin ``hash`` is salted per process for str/bytes; use a
+    stable hash so runs are reproducible.
+    """
+    if isinstance(key, (int, np.integer)):
+        return int(key) % n
+    h = 2166136261  # FNV-1a over the repr; stable and cheap
+    for ch in repr(key):
+        h = ((h ^ ord(ch)) * 16777619) & 0xFFFFFFFF
+    return h % n
+
+
+class ExchangeResult:
+    """Inputs for every consumer subtask plus traffic accounting."""
+
+    def __init__(self, inputs: List[Partition], bytes_shuffled: float):
+        self.inputs = inputs
+        self.bytes_shuffled = bytes_shuffled
+
+
+class Exchange:
+    """One producer→consumer edge of the execution graph."""
+
+    def __init__(self, env: Environment, network: Network,
+                 serializer: Serializer, strategy: ShipStrategy,
+                 producers: List[Partition], n_consumers: int,
+                 consumer_workers: List[str],
+                 key_fn: Optional[Callable] = None,
+                 combiner: Optional[Tuple[Callable, Callable]] = None):
+        self.env = env
+        self.network = network
+        self.serializer = serializer
+        self.strategy = strategy
+        self.producers = producers
+        self.n_consumers = n_consumers
+        self.consumer_workers = consumer_workers
+        self.key_fn = key_fn
+        self.combiner = combiner
+        self.bytes_shuffled = 0.0
+
+    # -- entry point -------------------------------------------------------------
+    def run(self) -> Generator[Event, None, ExchangeResult]:
+        """Simulation process performing the whole exchange."""
+        if self.strategy is ShipStrategy.FORWARD:
+            inputs = yield from self._run_forward()
+        elif self.strategy in (ShipStrategy.UNION_LEFT,
+                               ShipStrategy.UNION_RIGHT):
+            inputs = yield from self._run_union()
+        elif self.strategy is ShipStrategy.HASH:
+            inputs = yield from self._run_routed(self._hash_route)
+        elif self.strategy is ShipStrategy.REBALANCE:
+            inputs = yield from self._run_routed(self._rebalance_route)
+        elif self.strategy is ShipStrategy.GATHER:
+            inputs = yield from self._run_routed(self._gather_route)
+        elif self.strategy is ShipStrategy.BROADCAST:
+            inputs = yield from self._run_broadcast()
+        else:  # pragma: no cover - exhaustive over the enum
+            raise NotImplementedError(self.strategy)
+        return ExchangeResult(inputs, self.bytes_shuffled)
+
+    # -- forward ---------------------------------------------------------------
+    def _run_forward(self) -> Generator[Event, None, List[Partition]]:
+        if len(self.producers) != self.n_consumers:
+            raise ValueError(
+                f"FORWARD needs equal parallelism: {len(self.producers)} "
+                f"producers vs {self.n_consumers} consumers")
+        moves = []
+        for j, part in enumerate(self.producers):
+            dst = self.consumer_workers[j]
+            if part.worker != dst:
+                moves.append(self.env.process(
+                    self._ship(part.worker, dst, part.nominal_nbytes,
+                               part.nominal_count),
+                    name=f"forward-{j}"))
+        if moves:
+            yield self.env.all_of(moves)
+        inputs = []
+        for j, part in enumerate(self.producers):
+            dst = self.consumer_workers[j]
+            moved = part.derive(part.elements)
+            moved.index = j
+            moved.worker = dst
+            inputs.append(moved)
+        return inputs
+
+    # -- union ------------------------------------------------------------------
+    def _run_union(self) -> Generator[Event, None, List[Partition]]:
+        """Union sides: partition *i* feeds subtask ``offset + i``; every
+        other subtask receives ``None`` for this input (a union subtask
+        reads exactly one side)."""
+        q = self.n_consumers
+        offset = (0 if self.strategy is ShipStrategy.UNION_LEFT
+                  else q - len(self.producers))
+        inputs: List[Optional[Partition]] = [None] * q
+        moves = []
+        for i, part in enumerate(self.producers):
+            dst = self.consumer_workers[offset + i]
+            if part.worker != dst:
+                moves.append(self.env.process(
+                    self._ship(part.worker, dst, part.nominal_nbytes,
+                               part.nominal_count), name=f"union-{i}"))
+        if moves:
+            yield self.env.all_of(moves)
+        for i, part in enumerate(self.producers):
+            moved = part.derive(part.elements)
+            moved.index = offset + i
+            moved.worker = self.consumer_workers[offset + i]
+            inputs[offset + i] = moved
+        return inputs
+
+    # -- routed strategies (hash / rebalance / gather) ----------------------------
+    def _hash_route(self, part: Partition) -> List[Any]:
+        buckets: List[List[Any]] = [[] for _ in range(self.n_consumers)]
+        for x in part.elements:
+            buckets[hash_bucket(self.key_fn(x), self.n_consumers)].append(x)
+        return buckets
+
+    def _rebalance_route(self, part: Partition) -> List[Any]:
+        buckets: List[List[Any]] = [[] for _ in range(self.n_consumers)]
+        for i, x in enumerate(part.elements):
+            buckets[i % self.n_consumers].append(x)
+        return buckets
+
+    def _gather_route(self, part: Partition) -> List[Any]:
+        return [list(part.elements)]
+
+    def _run_routed(self, route: Callable[[Partition], List[Any]]
+                    ) -> Generator[Event, None, List[Partition]]:
+        q = self.n_consumers
+        # bucket_payloads[j] collects (elements, nominal_count) per producer.
+        bucket_payloads: List[List[Tuple[Any, float]]] = [[] for _ in range(q)]
+        senders = []
+        if self.combiner is COUNT_COMBINER:
+            element_nbytes = 8.0  # partial counts travel as one long each
+        else:
+            element_nbytes = (self.producers[0].element_nbytes
+                              if self.producers else 8.0)
+        for part in self.producers:
+            buckets = route(part)
+            if self.combiner is COUNT_COMBINER:
+                buckets = [[real_len(b) * part.scale] for b in buckets]
+                counts = [1.0 for _ in buckets]
+            elif self.combiner is not None:
+                buckets = [self._combine(b) for b in buckets]
+                counts = [float(real_len(b)) for b in buckets]
+            else:
+                counts = [real_len(b) * part.scale for b in buckets]
+            for j, (bucket, count) in enumerate(zip(buckets, counts)):
+                bucket_payloads[j].append((bucket, count))
+            senders.append(self.env.process(
+                self._send_buckets(part, buckets, counts, element_nbytes),
+                name=f"shuffle-send-{part.index}"))
+        if senders:
+            yield self.env.all_of(senders)
+        inputs = []
+        for j in range(q):
+            merged: List[Any] = []
+            nominal = 0.0
+            for bucket, count in bucket_payloads[j]:
+                merged.extend(bucket)
+                nominal += count
+            scale = nominal / len(merged) if merged else 1.0
+            inputs.append(Partition(index=j, elements=merged,
+                                    element_nbytes=element_nbytes,
+                                    scale=scale,
+                                    worker=self.consumer_workers[j]))
+        return inputs
+
+    def _combine(self, bucket: List[Any]) -> List[Any]:
+        if not bucket:
+            return bucket
+        if callable(self.combiner):
+            # Free-form producer-side combiner (e.g. first(n)'s truncation).
+            return list(self.combiner(bucket))
+        key_fn, reduce_fn = self.combiner
+        groups = group_elements(bucket, key_fn)
+        return [apply_reduce(members, reduce_fn)
+                for members in groups.values()]
+
+    def _send_buckets(self, part: Partition, buckets: List[Any],
+                      counts: List[float], element_nbytes: float
+                      ) -> Generator[Event, None, None]:
+        # Pre-combine compute is charged by the caller via the combiner's
+        # operator cost; here we charge shipping: serialize once, then wire
+        # time per destination.
+        for j, (bucket, count) in enumerate(zip(buckets, counts)):
+            if count <= 0:
+                continue
+            nbytes = count * element_nbytes
+            dst = self.consumer_workers[j]
+            yield self.env.timeout(
+                self.serializer.serialize_time(nbytes, count))
+            yield from self.network.transfer(part.worker, dst, int(nbytes))
+            yield self.env.timeout(
+                self.serializer.deserialize_time(nbytes, count))
+            if part.worker != dst:
+                self.bytes_shuffled += nbytes
+
+    # -- broadcast ----------------------------------------------------------------
+    def _run_broadcast(self) -> Generator[Event, None, List[Partition]]:
+        senders = []
+        total_nbytes = sum(p.nominal_nbytes for p in self.producers)
+        total_count = sum(p.nominal_count for p in self.producers)
+        for part in self.producers:
+            senders.append(self.env.process(
+                self._broadcast_one(part), name=f"bcast-{part.index}"))
+        if senders:
+            yield self.env.all_of(senders)
+        merged: List[Any] = []
+        for part in self.producers:
+            merged.extend(list(part.elements))
+        element_nbytes = (self.producers[0].element_nbytes
+                          if self.producers else 8.0)
+        scale = total_count / len(merged) if merged else 1.0
+        return [Partition(index=j, elements=list(merged),
+                          element_nbytes=element_nbytes, scale=scale,
+                          worker=self.consumer_workers[j])
+                for j in range(self.n_consumers)]
+
+    def _broadcast_one(self, part: Partition) -> Generator[Event, None, None]:
+        for dst in dict.fromkeys(self.consumer_workers):
+            yield from self._ship(part.worker, dst, part.nominal_nbytes,
+                                  part.nominal_count)
+
+    # -- common ------------------------------------------------------------------
+    def _ship(self, src: str, dst: str, nbytes: float,
+              count: float) -> Generator[Event, None, None]:
+        yield self.env.timeout(self.serializer.serialize_time(nbytes, count))
+        yield from self.network.transfer(src, dst, int(nbytes))
+        yield self.env.timeout(self.serializer.deserialize_time(nbytes, count))
+        if src != dst:
+            self.bytes_shuffled += nbytes

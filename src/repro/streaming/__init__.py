@@ -1,0 +1,36 @@
+"""Streaming on GFlink — the paper's stated future work.
+
+§1.1: "Apache Flink looks at batch processing as the special case of stream
+processing ... provides event level processing which is also known as real
+time streaming.  Nevertheless, Spark utilizes mini batches which doesn't
+provide event level granularity.  Hence, an important reason why we have
+chosen Flink to base the whole framework lies in the needs of future
+expansion for a better streaming processing implementation."
+
+This package builds that expansion:
+
+* :mod:`repro.streaming.records` — timestamped stream records;
+* :mod:`repro.streaming.api` — the DataStream API: rate-driven sources,
+  ``map``/``filter``, ``key_by`` + tumbling/sliding windows, window
+  aggregation on the CPU or (GFlink-style) on the GPUs via registered
+  kernels;
+* :mod:`repro.streaming.engine` — the execution engine, supporting both
+  **event-level** processing (Flink semantics: each record flows through the
+  pipeline as it arrives) and **mini-batch** processing (Spark-Streaming
+  semantics: records buffered and processed at batch boundaries), so the
+  paper's latency argument is measurable
+  (``benchmarks/bench_streaming_latency.py``).
+"""
+
+from repro.streaming.records import StreamRecord
+from repro.streaming.api import DataStream, StreamEnvironment, WindowSpec
+from repro.streaming.engine import ProcessingMode, StreamJobResult
+
+__all__ = [
+    "StreamRecord",
+    "DataStream",
+    "StreamEnvironment",
+    "WindowSpec",
+    "ProcessingMode",
+    "StreamJobResult",
+]

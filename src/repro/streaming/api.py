@@ -1,0 +1,173 @@
+"""The DataStream API: lazy stream pipelines over the GFlink cluster."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+from repro.common.errors import ConfigError
+from repro.streaming.engine import (
+    ProcessingMode,
+    SourceStage,
+    StreamJobResult,
+    TransformStage,
+    WindowStage,
+    run_pipeline,
+)
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """An event-time window assignment."""
+
+    size_s: float
+    slide_s: float
+    session_gap_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.session_gap_s is not None:
+            if self.session_gap_s <= 0:
+                raise ConfigError("session gap must be positive")
+            return
+        if self.size_s <= 0 or self.slide_s <= 0:
+            raise ConfigError("window size and slide must be positive")
+        if self.slide_s > self.size_s:
+            raise ConfigError("slide larger than size leaves gaps")
+
+    @classmethod
+    def tumbling(cls, size_s: float) -> "WindowSpec":
+        """Non-overlapping fixed windows."""
+        return cls(size_s=size_s, slide_s=size_s)
+
+    @classmethod
+    def sliding(cls, size_s: float, slide_s: float) -> "WindowSpec":
+        """Overlapping windows: each event lands in ``size/slide`` panes."""
+        return cls(size_s=size_s, slide_s=slide_s)
+
+    @classmethod
+    def session(cls, gap_s: float) -> "WindowSpec":
+        """Gap-based session windows: a session closes once no event
+        arrives for ``gap_s`` of event time."""
+        return cls(size_s=1.0, slide_s=1.0, session_gap_s=gap_s)
+
+
+class StreamEnvironment:
+    """Driver entry point for streaming jobs.
+
+    ``mode`` selects event-level (Flink) or mini-batch (Spark Streaming)
+    processing; ``batch_interval_s`` is the micro-batch boundary for the
+    latter.
+    """
+
+    def __init__(self, cluster, mode: ProcessingMode = ProcessingMode.EVENT_LEVEL,
+                 batch_interval_s: float = 1.0,
+                 buffer_capacity: Optional[int] = None):
+        if batch_interval_s <= 0:
+            raise ConfigError("batch_interval_s must be positive")
+        if buffer_capacity is not None and buffer_capacity < 1:
+            raise ConfigError("buffer_capacity must be >= 1")
+        self.cluster = cluster
+        self.mode = mode
+        self.batch_interval_s = batch_interval_s
+        # Bounded inter-stage buffers give credit-based backpressure: a slow
+        # operator's full inbox blocks its producer, all the way back to the
+        # source (None = unbounded, no backpressure).
+        self.buffer_capacity = buffer_capacity
+
+    def from_rate(self, rate: float, n_events: int,
+                  value_fn: Optional[Callable[[int], Any]] = None,
+                  element_nbytes: float = 8.0) -> "DataStream":
+        """A source emitting ``n_events`` at ``rate`` events/second."""
+        if rate <= 0 or n_events < 1:
+            raise ConfigError("rate must be positive, n_events >= 1")
+        return DataStream(self, SourceStage(
+            rate=rate, n_events=n_events,
+            value_fn=value_fn or (lambda i: float(i)),
+            element_nbytes=element_nbytes), [])
+
+
+class DataStream:
+    """A (lazy) stream: source + transform chain."""
+
+    def __init__(self, env: StreamEnvironment, source: SourceStage,
+                 transforms: List[TransformStage]):
+        self.env = env
+        self.source = source
+        self.transforms = transforms
+
+    def _extended(self, stage: TransformStage) -> "DataStream":
+        return DataStream(self.env, self.source, self.transforms + [stage])
+
+    def map(self, udf: Callable, flops_per_element: float = 1.0,
+            element_overhead_s: float = 0.5e-6) -> "DataStream":
+        """Per-event transform."""
+        return self._extended(TransformStage(
+            "map", udf, flops_per_element, element_overhead_s))
+
+    def filter(self, udf: Callable, flops_per_element: float = 1.0,
+               element_overhead_s: float = 0.5e-6) -> "DataStream":
+        """Per-event predicate."""
+        return self._extended(TransformStage(
+            "filter", udf, flops_per_element, element_overhead_s))
+
+    def key_by(self, key_fn: Callable) -> "KeyedStream":
+        """Partition the stream by key for windowing."""
+        return KeyedStream(self, key_fn)
+
+    def execute(self) -> StreamJobResult:
+        """Run the (window-less) pipeline to completion."""
+        return run_pipeline(self.env.cluster, self.source, self.transforms,
+                            window=None, mode=self.env.mode,
+                            batch_interval_s=self.env.batch_interval_s,
+                            buffer_capacity=self.env.buffer_capacity)
+
+
+class KeyedStream:
+    """A stream partitioned by key."""
+
+    def __init__(self, stream: DataStream, key_fn: Callable):
+        self.stream = stream
+        self.key_fn = key_fn
+
+    def window(self, spec: WindowSpec) -> "WindowedStream":
+        """Assign event-time windows."""
+        return WindowedStream(self, spec)
+
+
+class WindowedStream:
+    """Keyed + windowed: terminal aggregation runs the job."""
+
+    def __init__(self, keyed: KeyedStream, spec: WindowSpec):
+        self.keyed = keyed
+        self.spec = spec
+
+    def aggregate(self, fn: Callable[[Any, list], Any],
+                  flops_per_element: float = 2.0,
+                  element_overhead_s: float = 0.5e-6,
+                  parallelism: int = 2) -> StreamJobResult:
+        """CPU window aggregation ``fn(key, values) -> value``."""
+        return self._run(WindowStage(
+            key_fn=self.keyed.key_fn, size_s=self.spec.size_s,
+            slide_s=self.spec.slide_s, aggregate_fn=fn, kernel_name=None,
+            flops_per_element=flops_per_element,
+            element_overhead_s=element_overhead_s,
+            parallelism=parallelism,
+            session_gap_s=self.spec.session_gap_s))
+
+    def gpu_aggregate(self, kernel_name: str,
+                      parallelism: int = 2) -> StreamJobResult:
+        """GFlink-style window aggregation: each closed window becomes a
+        GWork batch on the worker's GPUs."""
+        return self._run(WindowStage(
+            key_fn=self.keyed.key_fn, size_s=self.spec.size_s,
+            slide_s=self.spec.slide_s, aggregate_fn=None,
+            kernel_name=kernel_name, flops_per_element=0.0,
+            element_overhead_s=0.0, parallelism=parallelism))
+
+    def _run(self, window: WindowStage) -> StreamJobResult:
+        stream = self.keyed.stream
+        return run_pipeline(stream.env.cluster, stream.source,
+                            stream.transforms, window=window,
+                            mode=stream.env.mode,
+                            batch_interval_s=stream.env.batch_interval_s,
+                            buffer_capacity=stream.env.buffer_capacity)

@@ -1,0 +1,246 @@
+"""Asynchronous barrier snapshots with exactly-once recovery.
+
+The paper's reliability argument rests on Flink's checkpointing: "Flink has
+a robust job management system as it uses replication and error detection to
+schedule around failures [9]" — [9] being Carbone et al., *Lightweight
+Asynchronous Snapshots for Distributed Dataflows* (the ABS algorithm).  This
+module implements ABS for the streaming engine's canonical shape
+(source → keyed windows → sink):
+
+* the source injects numbered **barriers** into the stream at a fixed
+  interval, recording its input position;
+* each window operator, on receiving a barrier, snapshots its state (open
+  panes + watermark) and forwards the barrier;
+* the **transactional sink** holds results in a pending epoch and commits
+  the epoch only when the barrier has arrived on every channel — so on
+  failure, uncommitted results are discarded;
+* recovery restores the latest *completed* checkpoint: the source rewinds
+  to the recorded position, the window operators reload their snapshots,
+  and replay recomputes exactly the discarded results.
+
+Event times are derived from the stream position (``(i+1)/rate``), not the
+wall clock, so replays reproduce identical windows — the determinism
+exactly-once requires.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigError, InterruptError
+from repro.common.resources import Store
+from repro.common.simclock import Environment
+from repro.flink.shuffle import hash_bucket
+from repro.streaming.engine import WindowStage
+from repro.streaming.records import StreamRecord
+
+
+@dataclass(frozen=True)
+class Barrier:
+    """A checkpoint barrier flowing with the records."""
+
+    checkpoint_id: int
+    source_position: int
+
+
+@dataclass
+class WindowSnapshot:
+    """One window operator's state at a barrier."""
+
+    panes: Dict[Tuple[Any, float], List[StreamRecord]]
+    watermark: float
+
+
+@dataclass
+class Checkpoint:
+    """A completed checkpoint: everything needed to restore the job."""
+
+    checkpoint_id: int
+    source_position: int
+    window_states: Dict[int, WindowSnapshot] = field(default_factory=dict)
+
+    def complete(self, n_partitions: int) -> bool:
+        return len(self.window_states) == n_partitions
+
+
+EOS = object()
+
+
+class CheckpointedStreamJob:
+    """source → keyed tumbling/sliding windows → transactional sink,
+    checkpointed with barrier snapshots."""
+
+    def __init__(self, cluster, rate: float, n_events: int,
+                 value_fn, window: WindowStage,
+                 checkpoint_interval_s: float = 0.25):
+        if checkpoint_interval_s <= 0:
+            raise ConfigError("checkpoint_interval_s must be positive")
+        self.cluster = cluster
+        self.env: Environment = cluster.env
+        self.rate = rate
+        self.n_events = n_events
+        self.value_fn = value_fn
+        self.window = window
+        self.interval = checkpoint_interval_s
+        # Durable state surviving failures.
+        self.committed: List[Tuple[float, Any, Any]] = []
+        self.checkpoints: Dict[int, Checkpoint] = {}
+        self.last_completed: Optional[Checkpoint] = None
+        self.attempts = 0
+        self.recovered_from: Optional[int] = None
+
+    # -- public API ----------------------------------------------------------
+    def run(self, fail_at_s: Optional[float] = None
+            ) -> List[Tuple[float, Any, Any]]:
+        """Run to completion, optionally crashing once at ``fail_at_s``.
+
+        Returns the committed (exactly-once) results, sorted.
+        """
+        finished = self._attempt(fail_at=fail_at_s)
+        if not finished:
+            # Crash: restore the latest completed checkpoint and replay.
+            restore = self.last_completed
+            self.recovered_from = (restore.checkpoint_id
+                                   if restore is not None else None)
+            finished = self._attempt(fail_at=None, restore=restore)
+            if not finished:  # pragma: no cover - single-failure model
+                raise ConfigError("second attempt must finish")
+        return sorted(self.committed)
+
+    # -- one attempt -------------------------------------------------------------
+    def _attempt(self, fail_at: Optional[float],
+                 restore: Optional[Checkpoint] = None) -> bool:
+        self.attempts += 1
+        env = self.env
+        start_pos = restore.source_position if restore else 0
+        partitions = self.window.parallelism
+
+        inboxes = [Store(env) for _ in range(partitions)]
+        to_sink = Store(env)
+        pending: Dict[int, List] = {}          # epoch -> results
+        partition_epoch = [0] * partitions
+        epoch_barriers: Dict[int, int] = {}    # epoch -> arrivals at sink
+
+        def source():
+            next_cp = (restore.checkpoint_id + 1) if restore else 1
+            for i in range(start_pos, self.n_events):
+                event_time = (i + 1) / self.rate
+                # Inject a barrier when stream time crosses the interval.
+                while event_time > next_cp * self.interval:
+                    barrier = Barrier(next_cp, i)
+                    self.checkpoints[next_cp] = Checkpoint(next_cp, i)
+                    for inbox in inboxes:
+                        yield inbox.put(barrier)
+                    next_cp += 1
+                yield env.timeout(1.0 / self.rate)
+                record = StreamRecord(event_time=event_time,
+                                      value=self.value_fn(i),
+                                      emitted_at=env.now)
+                bucket = hash_bucket(self.window.key_fn(record.value),
+                                     partitions)
+                yield inboxes[bucket].put(record)
+            for inbox in inboxes:
+                yield inbox.put(EOS)
+
+        def window_op(p: int):
+            window = self.window
+            if restore is not None and p in restore.window_states:
+                snap = restore.window_states[p]
+                panes = copy.deepcopy(snap.panes)
+                watermark = snap.watermark
+            else:
+                panes = {}
+                watermark = float("-inf")
+
+            def assign(ts):
+                from repro.streaming.engine import assign_windows
+                return assign_windows(ts, window.size_s, window.slide_s)
+
+            def close_ready():
+                ready = sorted(
+                    [key_start for key_start in panes
+                     if key_start[1] + window.size_s <= watermark],
+                    key=lambda ks: (ks[1], str(ks[0])))
+                for key, start in ready:
+                    records = panes.pop((key, start))
+                    values = [r.value for r in records]
+                    per = (window.element_overhead_s
+                           + window.flops_per_element
+                           / self.cluster.config.cpu.flops_per_core)
+                    yield env.timeout(len(values) * per)
+                    yield to_sink.put(
+                        ("result", p,
+                         (start + window.size_s, key,
+                          window.aggregate_fn(key, values))))
+
+            while True:
+                item = yield inboxes[p].get()
+                if item is EOS:
+                    watermark = float("inf")
+                    yield from close_ready()
+                    yield to_sink.put(("eos", p, None))
+                    return
+                if isinstance(item, Barrier):
+                    # ABS: snapshot state, ack, forward the barrier.
+                    self.checkpoints[item.checkpoint_id].window_states[p] = \
+                        WindowSnapshot(copy.deepcopy(panes), watermark)
+                    yield to_sink.put(("barrier", p, item))
+                    continue
+                key = window.key_fn(item.value)
+                for start in assign(item.event_time):
+                    panes.setdefault((key, start), []).append(item)
+                watermark = max(watermark, item.event_time)
+                yield from close_ready()
+
+        def sink():
+            live = partitions
+            while live > 0:
+                kind, p, payload = yield to_sink.get()
+                if kind == "eos":
+                    live -= 1
+                    continue
+                if kind == "barrier":
+                    cid = payload.checkpoint_id
+                    partition_epoch[p] = cid
+                    epoch_barriers[cid] = epoch_barriers.get(cid, 0) + 1
+                    if epoch_barriers[cid] == partitions:
+                        self._commit_epoch(cid, pending)
+                    continue
+                epoch = partition_epoch[p]
+                pending.setdefault(epoch, []).append(payload)
+            # End of stream: every barrier epoch completed; commit the tail.
+            for epoch in sorted(pending):
+                self.committed.extend(pending[epoch])
+            pending.clear()
+
+        procs = [env.process(source(), name="cp-source"),
+                 env.process(sink(), name="cp-sink")]
+        procs += [env.process(window_op(p), name=f"cp-window-{p}")
+                  for p in range(partitions)]
+
+        if fail_at is not None:
+            def failer():
+                yield env.timeout(fail_at)
+                for proc in procs:
+                    if proc.is_alive:
+                        proc.interrupt("injected crash")
+
+            env.process(failer(), name="cp-failer")
+
+        done = env.all_of(procs)
+        try:
+            env.run(until=done)
+        except InterruptError:
+            return False
+        return True
+
+    def _commit_epoch(self, cid: int, pending: Dict[int, List]) -> None:
+        """Barrier seen on every channel: the epoch's results are durable."""
+        checkpoint = self.checkpoints.get(cid)
+        if checkpoint is not None and checkpoint.complete(
+                self.window.parallelism):
+            self.last_completed = checkpoint
+        for epoch in [e for e in pending if e < cid]:
+            self.committed.extend(pending.pop(epoch))

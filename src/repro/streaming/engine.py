@@ -1,0 +1,465 @@
+"""The streaming execution engine.
+
+A streaming job is a linear pipeline of stages connected by stores:
+
+    source -> [batcher] -> transform* -> [window x P] -> sink
+
+Each stage is a simulation process on a worker; records crossing workers pay
+network time; per-record compute follows the same iterator cost model as the
+batch engine.  Two processing modes (§1.1):
+
+* ``EVENT_LEVEL`` — Flink semantics: every record flows the moment it
+  arrives;
+* ``MINI_BATCH`` — Spark-Streaming semantics: a batcher stage holds records
+  until the next batch boundary, then releases the whole micro-batch.
+
+Window stages use event-time tumbling/sliding windows with a
+monotone-source watermark; closed windows aggregate on the CPU or — GFlink
+style — as a GWork batch on the worker's GPUs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.common.errors import ConfigError
+from repro.common.resources import Store
+from repro.common.simclock import Environment, Event
+from repro.core.gwork import GWork
+from repro.core.hbuffer import HBuffer
+from repro.streaming.records import StreamRecord
+
+#: End-of-stream sentinel flowing through the stores.
+EOS = object()
+
+
+def assign_windows(ts: float, size_s: float, slide_s: float) -> List[float]:
+    """All window starts whose ``[start, start + size)`` contains ``ts``.
+
+    Index-based arithmetic (start = k * slide) avoids the error accumulation
+    of repeated subtraction, and the epsilon treats a timestamp within float
+    noise of a boundary as belonging to the *later* window — a deterministic
+    tie-break shared by every window operator.
+    """
+    eps = 1e-9 * max(slide_s, 1.0)
+    index = math.floor((ts + eps) / slide_s)
+    starts: List[float] = []
+    while index * slide_s + size_s > ts + eps:
+        start = index * slide_s
+        if ts + eps >= start:
+            starts.append(start)
+        index -= 1
+    return starts
+
+
+class ProcessingMode(Enum):
+    """§1.1's two streaming philosophies."""
+
+    EVENT_LEVEL = "event-level"   # Flink: real-time, per-record
+    MINI_BATCH = "mini-batch"     # Spark Streaming: batched
+
+
+@dataclass
+class StreamJobResult:
+    """Outcome of one streaming job."""
+
+    results: List[Tuple[float, Any, Any]]   # (window_end, key, aggregate)
+    record_latencies: List[float]           # per record reaching the sink
+    window_latencies: List[float]           # per closed window
+    makespan: float
+    events_processed: int
+
+    @property
+    def mean_record_latency(self) -> float:
+        if not self.record_latencies:
+            return 0.0
+        return float(np.mean(self.record_latencies))
+
+    @property
+    def p99_record_latency(self) -> float:
+        if not self.record_latencies:
+            return 0.0
+        return float(np.percentile(self.record_latencies, 99))
+
+    @property
+    def throughput(self) -> float:
+        """Events per simulated second."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.events_processed / self.makespan
+
+
+# ---------------------------------------------------------------------------
+# Stage descriptions (built by the API, executed below)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SourceStage:
+    rate: float                  # events per simulated second
+    n_events: int
+    value_fn: Callable[[int], Any]
+    element_nbytes: float
+
+
+@dataclass
+class TransformStage:
+    kind: str                    # "map" | "filter"
+    udf: Callable
+    flops_per_element: float
+    element_overhead_s: float
+
+
+@dataclass
+class WindowStage:
+    key_fn: Callable
+    size_s: float
+    slide_s: float
+    aggregate_fn: Optional[Callable]         # (key, [values]) -> value
+    kernel_name: Optional[str]               # GPU alternative
+    flops_per_element: float
+    element_overhead_s: float
+    parallelism: int
+    allowed_lateness_s: float = 0.0
+    #: When set, windows are per-key *sessions*: a session absorbs events
+    #: closer than the gap and closes once the watermark passes its last
+    #: event plus the gap.  size_s/slide_s are ignored.
+    session_gap_s: Optional[float] = None
+
+
+def run_pipeline(cluster, source: SourceStage,
+                 transforms: List[TransformStage],
+                 window: Optional[WindowStage],
+                 mode: ProcessingMode,
+                 batch_interval_s: float,
+                 buffer_capacity: Optional[int] = None) -> StreamJobResult:
+    """Execute one streaming job to completion; returns its result.
+
+    ``buffer_capacity`` bounds every inter-stage store: when a downstream
+    operator falls behind, its full inbox blocks the producer and the stall
+    propagates to the source — credit-based backpressure.
+    """
+    env: Environment = cluster.env
+    worker_names = cluster.config.worker_names()
+    start = env.now
+
+    results: List[Tuple[float, Any, Any]] = []
+    record_latencies: List[float] = []
+    window_latencies: List[float] = []
+    counters = {"events": 0}
+
+    # -- wire up the stages -------------------------------------------------------
+    stage_workers: List[str] = []
+    stores: List[Store] = []
+
+    def next_store() -> Store:
+        capacity = buffer_capacity or float("inf")
+        store = Store(env, capacity=capacity)
+        stores.append(store)
+        return store
+
+    source_out = next_store()
+    procs = [env.process(
+        _source_proc(env, source, source_out, counters),
+        name="stream-source")]
+    stage_workers.append(worker_names[0])
+    upstream = source_out
+
+    if mode is ProcessingMode.MINI_BATCH:
+        batched = next_store()
+        procs.append(env.process(
+            _batcher_proc(env, upstream, batched, batch_interval_s),
+            name="stream-batcher"))
+        upstream = batched
+
+    for i, transform in enumerate(transforms):
+        out = next_store()
+        worker = worker_names[(i + 1) % len(worker_names)]
+        hop = _hop_cost(cluster, stage_workers[-1], worker,
+                        source.element_nbytes)
+        procs.append(env.process(
+            _transform_proc(env, transform, upstream, out, cluster.config,
+                            hop),
+            name=f"stream-{transform.kind}-{i}"))
+        stage_workers.append(worker)
+        upstream = out
+
+    sink_in = upstream
+    if window is not None:
+        window_out = next_store()
+        # Keyed fan-out to P window operators.
+        inboxes = [next_store() for _ in range(window.parallelism)]
+        procs.append(env.process(
+            _router_proc(env, upstream, inboxes, window.key_fn),
+            name="stream-router"))
+        for p, inbox in enumerate(inboxes):
+            worker = cluster.workers[
+                worker_names[p % len(worker_names)]]
+            hop = _hop_cost(cluster, stage_workers[-1], worker.name,
+                            source.element_nbytes)
+            procs.append(env.process(
+                _window_proc(env, window, inbox, window_out, worker,
+                             cluster.config, hop, window_latencies),
+                name=f"stream-window-{p}"))
+        procs.append(env.process(
+            _window_collector(env, window_out, window.parallelism, results),
+            name="stream-window-sink"))
+        sink_in = None
+
+    if sink_in is not None:
+        procs.append(env.process(
+            _record_sink(env, sink_in, results, record_latencies),
+            name="stream-sink"))
+
+    env.run(until=env.all_of(procs))
+    return StreamJobResult(
+        results=results,
+        record_latencies=record_latencies,
+        window_latencies=window_latencies,
+        makespan=env.now - start,
+        events_processed=counters["events"],
+    )
+
+
+def _hop_cost(cluster, src_worker: str, dst_worker: str,
+              nbytes: float) -> Callable[[], Generator[Event, None, None]]:
+    """Per-record network hop between chained stages (free when local)."""
+    def hop():
+        if src_worker != dst_worker:
+            yield from cluster.network.transfer(src_worker, dst_worker,
+                                                int(max(nbytes, 1)))
+        return
+        yield  # pragma: no cover - generator marker
+
+    return hop
+
+
+# -- stage processes -------------------------------------------------------------
+
+def _source_proc(env, source: SourceStage, out: Store, counters):
+    interval = 1.0 / source.rate
+    for i in range(source.n_events):
+        yield env.timeout(interval)
+        record = StreamRecord(event_time=env.now,
+                              value=source.value_fn(i),
+                              emitted_at=env.now)
+        counters["events"] += 1
+        yield out.put(record)
+    yield out.put(EOS)
+
+
+def _batcher_proc(env, upstream: Store, out: Store, interval: float):
+    """Spark-Streaming semantics: records are assigned to the micro-batch of
+    their *arrival* interval and released at its boundary."""
+    buffer: List[StreamRecord] = []
+    pending = None  # an outstanding get carried across boundaries
+    eos = False
+    while True:
+        # The next batch boundary, strictly in the future (the +1e-9 guard
+        # prevents a float-rounding livelock when now sits on a boundary).
+        boundary = (math.floor(env.now / interval + 1e-9) + 1) * interval
+        while not eos:
+            remaining = boundary - env.now
+            if remaining <= 1e-9:
+                break
+            if pending is None:
+                pending = upstream.get()
+            timer = env.timeout(remaining)
+            yield env.any_of([pending, timer])
+            if pending.processed:
+                item = pending.value
+                pending = None
+                if item is EOS:
+                    eos = True
+                else:
+                    buffer.append(item)
+        for record in buffer:
+            yield out.put(record)
+        buffer.clear()
+        if eos:
+            yield out.put(EOS)
+            return
+
+
+def _transform_proc(env, transform: TransformStage, upstream: Store,
+                    out: Store, config, hop):
+    per_event = (transform.element_overhead_s
+                 + transform.flops_per_element / config.cpu.flops_per_core)
+    while True:
+        item = yield upstream.get()
+        if item is EOS:
+            yield out.put(EOS)
+            return
+        yield from hop()
+        yield env.timeout(per_event)
+        if transform.kind == "map":
+            yield out.put(item.with_value(transform.udf(item.value)))
+        elif transform.kind == "filter":
+            if transform.udf(item.value):
+                yield out.put(item)
+        else:  # pragma: no cover - validated at build time
+            raise ConfigError(transform.kind)
+
+
+def _router_proc(env, upstream: Store, inboxes: List[Store], key_fn):
+    from repro.flink.shuffle import hash_bucket
+    while True:
+        item = yield upstream.get()
+        if item is EOS:
+            for inbox in inboxes:
+                yield inbox.put(EOS)
+            return
+        bucket = hash_bucket(key_fn(item.value), len(inboxes))
+        yield inboxes[bucket].put(item)
+
+
+def _window_proc(env, window: WindowStage, inbox: Store, out: Store,
+                 worker, config, hop, window_latencies: List[float]):
+    """Event-time windowing with a monotone watermark."""
+    if window.session_gap_s is not None:
+        yield from _session_window_proc(env, window, inbox, out, worker,
+                                        config, hop, window_latencies)
+        return
+    panes: Dict[Tuple[Any, float], List[StreamRecord]] = {}
+    watermark = float("-inf")
+
+    def assign(ts: float) -> List[float]:
+        return assign_windows(ts, window.size_s, window.slide_s)
+
+    def close_ready():
+        ready = [(key, start) for (key, start) in panes
+                 if start + window.size_s + window.allowed_lateness_s
+                 <= watermark]
+        for key, start in sorted(ready, key=lambda p: (p[1], str(p[0]))):
+            records = panes.pop((key, start))
+            yield from aggregate(key, start, records)
+
+    def aggregate(key, start, records):
+        values = [r.value for r in records]
+        n = len(values)
+        if window.kernel_name is not None:
+            gm = worker.gpumanager
+            if gm is None:
+                raise ConfigError(
+                    f"worker {worker.name} has no GPUManager for the GPU "
+                    f"window aggregate")
+            hbuf = HBuffer(np.asarray(values, dtype=np.float64),
+                           element_nbytes=8.0, pinned=True)
+            work = GWork(execute_name=window.kernel_name,
+                         in_buffers={"in": hbuf},
+                         out_buffer=HBuffer([], 8.0, pinned=True),
+                         size=n, params={"key": key},
+                         app_id="streaming")
+            out_hbuf = yield gm.submit(work)
+            value = _scalar(out_hbuf.elements)
+        else:
+            per_event = (window.element_overhead_s
+                         + window.flops_per_element
+                         / config.cpu.flops_per_core)
+            yield env.timeout(n * per_event)
+            value = window.aggregate_fn(key, values)
+        end = start + window.size_s
+        # A window forced shut by end-of-stream closes before its event-time
+        # end; latency is only meaningful once the window is semantically
+        # complete.
+        window_latencies.append(max(env.now - end, 0.0))
+        yield out.put((end, key, value))
+
+    while True:
+        item = yield inbox.get()
+        if item is EOS:
+            watermark = float("inf")
+            yield from close_ready()
+            yield out.put(EOS)
+            return
+        yield from hop()
+        key = window.key_fn(item.value)
+        for start in assign(item.event_time):
+            panes.setdefault((key, start), []).append(item)
+        watermark = max(watermark, item.event_time)
+        yield from close_ready()
+
+
+def _session_window_proc(env, window: WindowStage, inbox: Store, out: Store,
+                         worker, config, hop,
+                         window_latencies: List[float]):
+    """Gap-based session windows (one open session per key: the source's
+    event times are monotone, so a new event either extends the session or
+    proves the old one closed)."""
+    gap = window.session_gap_s
+    open_sessions: Dict[Any, Tuple[float, float, List[StreamRecord]]] = {}
+    watermark = float("-inf")
+
+    def aggregate(key, start, end, records):
+        values = [r.value for r in records]
+        per = (window.element_overhead_s
+               + window.flops_per_element / config.cpu.flops_per_core)
+        yield env.timeout(len(values) * per)
+        value = window.aggregate_fn(key, values)
+        window_latencies.append(max(env.now - (end + gap), 0.0))
+        yield out.put((end, key, value))
+
+    def close_expired():
+        expired = [key for key, (start, end, _) in open_sessions.items()
+                   if end + gap <= watermark]
+        for key in sorted(expired, key=str):
+            start, end, records = open_sessions.pop(key)
+            yield from aggregate(key, start, end, records)
+
+    while True:
+        item = yield inbox.get()
+        if item is EOS:
+            watermark = float("inf")
+            yield from close_expired()
+            yield out.put(EOS)
+            return
+        yield from hop()
+        key = window.key_fn(item.value)
+        ts = item.event_time
+        if key in open_sessions:
+            start, end, records = open_sessions[key]
+            if ts <= end + gap:
+                records.append(item)
+                open_sessions[key] = (start, max(end, ts), records)
+            else:
+                # The gap elapsed: the old session is complete.
+                del open_sessions[key]
+                yield from aggregate(key, start, end, records)
+                open_sessions[key] = (ts, ts, [item])
+        else:
+            open_sessions[key] = (ts, ts, [item])
+        watermark = max(watermark, ts)
+        yield from close_expired()
+
+
+def _window_collector(env, window_out: Store, n_producers: int,
+                      results: List):
+    remaining = n_producers
+    while remaining > 0:
+        item = yield window_out.get()
+        if item is EOS:
+            remaining -= 1
+            continue
+        results.append(item)
+
+
+def _record_sink(env, upstream: Store, results: List,
+                 record_latencies: List[float]):
+    while True:
+        item = yield upstream.get()
+        if item is EOS:
+            return
+        record_latencies.append(env.now - item.emitted_at)
+        results.append((item.event_time, None, item.value))
+
+
+def _scalar(elements) -> Any:
+    if isinstance(elements, np.ndarray):
+        return float(elements.reshape(-1)[0])
+    if isinstance(elements, (list, tuple)) and elements:
+        return elements[0]
+    return elements

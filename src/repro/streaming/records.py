@@ -1,0 +1,28 @@
+"""Stream records: the unit of event-level processing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class StreamRecord:
+    """One event.
+
+    event_time
+        When the event happened (simulated seconds): drives windowing.
+    value
+        The payload.
+    emitted_at
+        When the source produced it (for end-to-end latency accounting).
+    """
+
+    event_time: float
+    value: Any
+    emitted_at: float = 0.0
+
+    def with_value(self, value: Any) -> "StreamRecord":
+        """Same event, new payload (map semantics keep the timestamps)."""
+        return StreamRecord(event_time=self.event_time, value=value,
+                            emitted_at=self.emitted_at)

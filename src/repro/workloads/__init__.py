@@ -1,0 +1,45 @@
+"""The paper's benchmark workloads (§6.2, Table 1).
+
+Six benchmarks — KMeans, PageRank, WordCount, ConnectedComponents (from the
+in-memory HiBench suite), LinearRegression and SpMV (from Flink's examples) —
+plus PointAdd (the paper's running example, Algorithm 3.1), each with a CPU
+(Flink) and a GPU (GFlink) implementation over the same synthetic generators.
+
+Every workload follows the paper's driver structure: read the input from
+HDFS (first iteration), iterate in memory with the GPU cache active, write
+the result back to HDFS (last iteration).  ``run(...)`` returns per-iteration
+simulated times, which is what Figs. 5–8 plot.
+"""
+
+from repro.workloads.base import (
+    Workload,
+    WorkloadResult,
+    ensure_kernel,
+    even_chunk_sizes,
+    run_concurrent,
+)
+from repro.workloads.generators import TABLE1, table1_sizes
+from repro.workloads.kmeans import KMeansWorkload
+from repro.workloads.linear_regression import LinearRegressionWorkload
+from repro.workloads.spmv import SpMVWorkload
+from repro.workloads.wordcount import WordCountWorkload
+from repro.workloads.pagerank import PageRankWorkload
+from repro.workloads.connected_components import ConnectedComponentsWorkload
+from repro.workloads.pointadd import PointAddWorkload
+
+__all__ = [
+    "Workload",
+    "WorkloadResult",
+    "ensure_kernel",
+    "even_chunk_sizes",
+    "run_concurrent",
+    "TABLE1",
+    "table1_sizes",
+    "KMeansWorkload",
+    "LinearRegressionWorkload",
+    "SpMVWorkload",
+    "WordCountWorkload",
+    "PageRankWorkload",
+    "ConnectedComponentsWorkload",
+    "PointAddWorkload",
+]

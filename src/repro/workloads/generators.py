@@ -1,0 +1,66 @@
+"""Dataset catalog: Table 1 of the paper, plus the real-sample sizes.
+
+"For each benchmark, we employ five different sizes of input datasets" —
+the nominal sizes below are the paper's.  ``real`` is the in-memory sample
+each nominal dataset is represented by (dual-scale execution, DESIGN.md §2);
+the ``scale`` is nominal/real and drives all timing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.common.errors import ConfigError
+from repro.common.units import GB
+
+MILLION = 1_000_000
+
+
+@dataclass(frozen=True)
+class SizeSpec:
+    """One input-size point of Table 1."""
+
+    label: str               # as printed in the paper ("150 million points")
+    nominal_elements: float  # elements the timing model simulates
+    real_elements: int       # in-memory sample size
+
+
+def _points(millions: int, real: int = 50_000) -> SizeSpec:
+    return SizeSpec(f"{millions}M points", millions * MILLION, real)
+
+
+def _pages(millions: int, real: int = 4_000) -> SizeSpec:
+    return SizeSpec(f"{millions}M pages", millions * MILLION, real)
+
+
+def _gb_words(gb: int, bytes_per_word: float = 10.0,
+              real: int = 60_000) -> SizeSpec:
+    return SizeSpec(f"{gb} GB", gb * GB / bytes_per_word, real)
+
+
+def _gb_rows(gb: int, bytes_per_row: float = 192.0,
+             real: int = 20_000) -> SizeSpec:
+    # SpMV rows in ELL format: 16 nnz x (4B col + 4B val) x 1.5 = 192 B/row.
+    return SizeSpec(f"{gb} GB", gb * GB / bytes_per_row, real)
+
+
+#: Table 1 — Benchmarks from HiBench (plus the two Flink examples).
+TABLE1: Dict[str, List[SizeSpec]] = {
+    "kmeans": [_points(m) for m in (150, 180, 210, 240, 270)],
+    "pagerank": [_pages(m) for m in (5, 10, 15, 20, 25)],
+    "wordcount": [_gb_words(g) for g in (24, 32, 40, 48, 56)],
+    "connected_components": [_pages(m) for m in (5, 10, 15, 20, 25)],
+    "linear_regression": [_points(m) for m in (150, 180, 210, 240, 270)],
+    "spmv": [_gb_rows(g) for g in (2, 4, 8, 16, 32)],
+}
+
+
+def table1_sizes(benchmark: str) -> List[SizeSpec]:
+    """The five Table 1 input sizes for ``benchmark``."""
+    try:
+        return list(TABLE1[benchmark])
+    except KeyError:
+        raise ConfigError(
+            f"unknown benchmark {benchmark!r}; known: {sorted(TABLE1)}"
+        ) from None

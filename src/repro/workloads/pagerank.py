@@ -1,0 +1,171 @@
+"""PageRank (HiBench) — iterative, shuffle-heavy graph workload.
+
+The paper reports ~3.5x overall: the contribution computation accelerates
+well on the GPU, but every iteration must shuffle per-vertex contributions
+(Observation 1: "the larger space the Shuffle phases occupy, the smaller
+speedup can be obtained").
+
+Graph model: a synthetic web graph of ``pages`` vertices with
+``EDGES_PER_PAGE`` out-links each (Zipf-ish preferential targets); edges are
+8-byte GStructs partitioned by source block.  Ranks live in the driver and
+are broadcast each iteration; per-partition partial contributions are
+pre-aggregated (``np.bincount``) before the shuffle, as a combinable Flink
+job would.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.core.gdst import ExtraInput
+from repro.core.gstruct import GStruct4, Int32, StructField
+from repro.flink.dataset import OpCost
+from repro.gpu.kernel import KernelSpec
+from repro.workloads.base import Workload, ensure_kernel, even_chunk_sizes
+
+EDGES_PER_PAGE = 8
+DAMPING = 0.85
+
+
+class Edge(GStruct4):
+    src = StructField(order=0, ftype=Int32)
+    dst = StructField(order=1, ftype=Int32)
+
+
+def _contrib_partials(edges: np.ndarray, ranks: np.ndarray,
+                      out_degree: np.ndarray) -> np.ndarray:
+    """Per-destination partial contributions: rows ``[dst, partial]``."""
+    contrib = ranks[edges["src"]] / out_degree[edges["src"]]
+    sums = np.bincount(edges["dst"], weights=contrib,
+                       minlength=len(ranks))
+    nz = np.nonzero(sums)[0]
+    return np.stack([nz.astype(np.float64), sums[nz]], axis=1)
+
+
+def pagerank_contrib_kernel(inputs, params):
+    return {"out": _contrib_partials(inputs["in"], inputs["ranks"],
+                                     inputs["out_degree"])}
+
+
+class PageRankWorkload(Workload):
+    """Power-iteration PageRank over GStruct edges."""
+
+    name = "pagerank"
+    CPU_FLOPS = 6.0          # divide + scatter-add per edge
+    CPU_OVERHEAD_S = 0.72e-6  # per-edge tuple handling
+    GPU_FLOPS = 6.0
+    GPU_EFFICIENCY = 0.15    # scattered atomics
+
+    def __init__(self, nominal_pages: float = 5e6, real_pages: int = 4_000,
+                 iterations: int = 10, **kw):
+        super().__init__(nominal_pages * EDGES_PER_PAGE,
+                         real_pages * EDGES_PER_PAGE,
+                         element_nbytes=Edge.itemsize(),
+                         iterations=iterations, **kw)
+        self.nominal_pages = float(nominal_pages)
+        self.real_pages = int(real_pages)
+
+    # -- data ---------------------------------------------------------------
+    def _make_edges(self, n: int) -> np.ndarray:
+        arr = Edge.empty(n)
+        arr["src"] = self.rng.integers(0, self.real_pages,
+                                       size=n).astype(np.int32)
+        # Preferential attachment-ish targets: low ids are popular.
+        dst = (self.rng.zipf(1.4, size=n) - 1) % self.real_pages
+        arr["dst"] = dst.astype(np.int32)
+        return arr
+
+    def _generate_chunks(self, n_chunks: int) -> List[Tuple[np.ndarray, int]]:
+        chunks = []
+        for n in even_chunk_sizes(self.real_elements, n_chunks):
+            chunks.append((self._make_edges(n),
+                           int(n * self.scale * self.element_nbytes)))
+        return chunks
+
+    def register_kernels(self, registry) -> None:
+        ensure_kernel(registry, KernelSpec(
+            "pagerank_contrib", pagerank_contrib_kernel,
+            flops_per_element=self.GPU_FLOPS,
+            bytes_per_element=Edge.itemsize() + 8.0,
+            efficiency=self.GPU_EFFICIENCY))
+
+    # -- drivers -----------------------------------------------------------------
+    def _out_degrees(self, session) -> np.ndarray:
+        # Degree table computed once (driver-side metadata job in real
+        # deployments; here from the generator for determinism).
+        degrees = np.zeros(self.real_pages, dtype=np.float64)
+        for block in session.cluster.hdfs.locate(self.path):
+            np.add.at(degrees, block.payload["src"], 1.0)
+        degrees[degrees == 0] = 1.0
+        return degrees
+
+    def _iterate(self, session, edges, gpu: bool):
+        n = self.real_pages
+        ranks = np.full(n, 1.0 / n)
+        out_degree = self._out_degrees(session)
+        state = {"ranks": ranks}
+        ranks_input = ExtraInput(lambda: state["ranks"], element_nbytes=8.0,
+                                 scale=self.nominal_pages / self.real_pages,
+                                 cacheable=False)
+        degree_input = ExtraInput.constant(
+            out_degree, element_nbytes=8.0,
+            scale=self.nominal_pages / self.real_pages, cacheable=True)
+        times = []
+        for it in range(self.iterations):
+            if gpu:
+                partial_rows = edges.gpu_map_partition(
+                    "pagerank_contrib",
+                    extra_inputs={"ranks": ranks_input,
+                                  "out_degree": degree_input},
+                    cache=True, cache_key_base=("pagerank", self.path),
+                    out_element_nbytes=16.0)
+            else:
+                r, d = state["ranks"].copy(), out_degree
+                partial_rows = edges.map_partition(
+                    lambda e, r=r, d=d: _contrib_partials(e, r, d),
+                    cost=OpCost(flops_per_element=self.CPU_FLOPS,
+                                out_element_nbytes=16.0,
+                                element_overhead_s=self.CPU_OVERHEAD_S),
+                    name="pagerank-contrib")
+            # Shuffle the partials by destination and sum — the phase that
+            # caps PageRank's speedup.
+            summed = partial_rows.map_partition(
+                lambda rows: [(int(r[0]), float(r[1])) for r in rows],
+                cost=OpCost(flops_per_element=0.0),
+                name="pagerank-tuples") \
+                .group_by(lambda kv: kv[0]) \
+                .reduce(lambda a, b: (a[0], a[1] + b[1]),
+                        cost=OpCost(flops_per_element=1.0),
+                        name="pagerank-sum")
+            result = yield from summed.collect_job(
+                job_name=f"pagerank-{'gpu' if gpu else 'cpu'}-iter{it}")
+            new_ranks = np.full(n, (1.0 - DAMPING) / n)
+            for dst, total in result.value:
+                new_ranks[dst] += DAMPING * total
+            state["ranks"] = new_ranks
+            seconds = result.seconds
+            if it == self.iterations - 1:
+                write = yield from session.from_collection(
+                    state["ranks"], element_nbytes=8.0,
+                    scale=self.nominal_pages / self.real_pages
+                ).write_hdfs_job(self.output_path)
+                seconds += write.seconds
+            times.append(seconds)
+        return state["ranks"], times
+
+    def _run_cpu(self, session):
+        edges = session.read_hdfs(self.path, self.element_nbytes,
+                                  scale=self.scale).persist()
+        result = yield from self._iterate(session, edges, gpu=False)
+        return result
+
+    def _run_gpu(self, session):
+        from repro.workloads.spmv import _total_gpus
+        # One partition per GPU: ranks/degrees upload once per device.
+        edges = session.read_hdfs(self.path, self.element_nbytes,
+                                  scale=self.scale,
+                                  parallelism=_total_gpus(session)).persist()
+        result = yield from self._iterate(session, edges, gpu=True)
+        return result

@@ -1,0 +1,111 @@
+"""WordCount (HiBench) — the paper's batch, I/O-bound workload.
+
+"The speedup of WordCount is not high (only 1.1x), because WordCount is a
+batch application without iterative execution ... Moreover, the I/O overhead
+of WordCount is the bottleneck" (§6.5).  Both paths read the whole corpus
+from HDFS, count words, shuffle the per-partition partial counts and write
+the totals — the GPU only accelerates the (cheap) counting.
+
+The corpus is pre-tokenized to 32-bit word ids drawn from a Zipf
+distribution, matching how a GStruct-based GFlink program would lay the data
+out (one ``Unsigned32`` per word).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.flink.dataset import OpCost
+from repro.gpu.kernel import KernelSpec
+from repro.workloads.base import Workload, ensure_kernel, even_chunk_sizes
+
+VOCABULARY = 10_000
+ZIPF_A = 1.3
+
+
+def _partial_counts(word_ids: np.ndarray) -> List[Tuple[int, int]]:
+    """(word, count) partials for one partition/block."""
+    counts = np.bincount(word_ids, minlength=0)
+    nz = np.nonzero(counts)[0]
+    return [(int(w), int(counts[w])) for w in nz]
+
+
+def wordcount_kernel(inputs, params):
+    counts = np.bincount(inputs["in"], minlength=0)
+    nz = np.nonzero(counts)[0]
+    return {"out": np.stack([nz, counts[nz]], axis=1).astype(np.int64)}
+
+
+class WordCountWorkload(Workload):
+    """Count word occurrences across the corpus."""
+
+    name = "wordcount"
+    CPU_FLOPS = 8.0            # hash + increment per word
+    #: Tokenisation (text -> word tokens) runs on the CPU in *both* paths —
+    #: the GPU only accelerates counting, which is why the paper measures
+    #: only ~1.1x end to end.
+    TOKENIZE_OVERHEAD_S = 0.15e-6
+    COUNT_OVERHEAD_S = 0.035e-6  # per-word hash-map access (CPU path)
+    GPU_FLOPS = 8.0
+    GPU_EFFICIENCY = 0.25      # atomics-heavy histogram kernel
+
+    def __init__(self, nominal_elements: float = 2.4e9,
+                 real_elements: int = 60_000, **kw):
+        kw.setdefault("iterations", 1)  # batch: single pass
+        super().__init__(nominal_elements, real_elements,
+                         element_nbytes=4.0, **kw)
+
+    def _generate_chunks(self, n_chunks: int) -> List[Tuple[np.ndarray, int]]:
+        chunks = []
+        for n in even_chunk_sizes(self.real_elements, n_chunks):
+            ids = self.rng.zipf(ZIPF_A, size=n) % VOCABULARY
+            chunks.append((ids.astype(np.int32),
+                           int(n * self.scale * self.element_nbytes)))
+        return chunks
+
+    def register_kernels(self, registry) -> None:
+        ensure_kernel(registry, KernelSpec(
+            "wordcount_hist", wordcount_kernel,
+            flops_per_element=self.GPU_FLOPS, bytes_per_element=4.0,
+            efficiency=self.GPU_EFFICIENCY))
+
+    # -- drivers ------------------------------------------------------------------
+    def _finish(self, partials_ds):
+        totals = partials_ds \
+            .group_by(lambda wc: int(wc[0])) \
+            .reduce(lambda a, b: (a[0], a[1] + b[1]),
+                    cost=OpCost(flops_per_element=1.0),
+                    name="wordcount-sum")
+        write = yield from totals.write_hdfs_job(self.output_path)
+        return write
+
+    def _tokenize(self, session):
+        words = session.read_hdfs(self.path, self.element_nbytes,
+                                  scale=self.scale)
+        return words.map_partition(
+            lambda ids: ids,  # text -> word ids; identity on our sample
+            cost=OpCost(flops_per_element=2.0,
+                        element_overhead_s=self.TOKENIZE_OVERHEAD_S),
+            name="wordcount-tokenize")
+
+    def _run_cpu(self, session):
+        partials = self._tokenize(session).map_partition(
+            lambda ids: _partial_counts(ids),
+            cost=OpCost(flops_per_element=self.CPU_FLOPS,
+                        out_element_nbytes=12.0,
+                        element_overhead_s=self.COUNT_OVERHEAD_S),
+            name="wordcount-map")
+        write = yield from self._finish(partials)
+        return write.value, [write.seconds]
+
+    def _run_gpu(self, session):
+        pairs = self._tokenize(session).gpu_map_partition(
+            "wordcount_hist", out_element_nbytes=12.0) \
+            .map_partition(
+                lambda rows: [(int(r[0]), int(r[1])) for r in rows],
+                cost=OpCost(flops_per_element=0.0),
+                name="wordcount-tuples")
+        write = yield from self._finish(pairs)
+        return write.value, [write.seconds]

@@ -1,0 +1,91 @@
+"""Tests for the cluster network model."""
+
+import pytest
+
+from repro.common import Environment
+from repro.common.errors import ConfigError
+from repro.common.network import Network, NetworkConfig
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def net(env):
+    return Network(env, ["a", "b", "c"],
+                   NetworkConfig(bandwidth_bps=1e9, latency_s=1e-4,
+                                 loopback_bps=8e9))
+
+
+def run_transfer(env, net, src, dst, nbytes):
+    p = env.process(net.transfer(src, dst, nbytes))
+    env.run(until=p)
+    return env.now
+
+
+class TestNetwork:
+    def test_transfer_time_is_latency_plus_wire(self, env, net):
+        t = run_transfer(env, net, "a", "b", 1_000_000_000)
+        assert t == pytest.approx(1.0 + 1e-4)
+
+    def test_loopback_is_memcpy_speed(self, env, net):
+        t = run_transfer(env, net, "a", "a", 8_000_000_000)
+        assert t == pytest.approx(1.0)
+
+    def test_unknown_node_rejected(self, env, net):
+        with pytest.raises(ConfigError):
+            env.run(until=env.process(net.transfer("a", "zz", 10)))
+
+    def test_negative_bytes_rejected(self, env, net):
+        with pytest.raises(ValueError):
+            env.run(until=env.process(net.transfer("a", "b", -1)))
+
+    def test_duplicate_node_names_rejected(self, env):
+        with pytest.raises(ConfigError):
+            Network(env, ["x", "x"])
+
+    def test_same_egress_serializes(self, env, net):
+        done = []
+
+        def send(dst):
+            yield from net.transfer("a", dst, 1_000_000_000)
+            done.append((dst, env.now))
+
+        env.process(send("b"))
+        env.process(send("c"))
+        env.run()
+        # Both leave node a's single egress port: second waits for first.
+        times = sorted(t for _, t in done)
+        assert times[0] == pytest.approx(1.0001)
+        assert times[1] == pytest.approx(2.0002)
+
+    def test_disjoint_pairs_run_in_parallel(self, env, net):
+        done = []
+
+        def send(src, dst):
+            yield from net.transfer(src, dst, 1_000_000_000)
+            done.append(env.now)
+
+        env.process(send("a", "b"))
+        env.process(send("c", "a"))  # different egress, different ingress
+        env.run()
+        assert done == pytest.approx([1.0001, 1.0001])
+
+    def test_byte_accounting(self, env, net):
+        run_transfer(env, net, "a", "b", 12345)
+        assert net.bytes_sent("a") == 12345
+        assert net.bytes_received("b") == 12345
+        assert net.bytes_sent("b") == 0
+
+    def test_loopback_not_counted_on_nic(self, env, net):
+        run_transfer(env, net, "a", "a", 999)
+        assert net.bytes_sent("a") == 0
+
+    def test_add_node(self, env, net):
+        net.add_node("d")
+        t = run_transfer(env, net, "a", "d", 1_000_000_000)
+        assert t == pytest.approx(1.0001)
+        with pytest.raises(ConfigError):
+            net.add_node("d")

@@ -1,0 +1,315 @@
+"""Unit tests for Resource / PriorityResource / Store / FilterStore."""
+
+import pytest
+
+from repro.common import Environment, Resource, PriorityResource, Store, FilterStore
+from repro.common.errors import ResourceError
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+class TestResource:
+    def test_capacity_validation(self, env):
+        with pytest.raises(ResourceError):
+            Resource(env, capacity=0)
+
+    def test_grants_up_to_capacity_immediately(self, env):
+        res = Resource(env, capacity=2)
+        grants = []
+
+        def user(i):
+            with res.request() as req:
+                yield req
+                grants.append((i, env.now))
+                yield env.timeout(10.0)
+
+        for i in range(3):
+            env.process(user(i))
+        env.run(until=0.5)
+        assert [g[0] for g in grants] == [0, 1]
+        assert res.count == 2
+        assert res.queue_length == 1
+
+    def test_release_grants_next_fifo(self, env):
+        res = Resource(env, capacity=1)
+        order = []
+
+        def user(i, hold):
+            with res.request() as req:
+                yield req
+                order.append((i, env.now))
+                yield env.timeout(hold)
+
+        env.process(user(0, 2.0))
+        env.process(user(1, 1.0))
+        env.process(user(2, 1.0))
+        env.run()
+        assert order == [(0, 0.0), (1, 2.0), (2, 3.0)]
+
+    def test_context_manager_releases_on_exception(self, env):
+        res = Resource(env, capacity=1)
+
+        def failing_user():
+            with res.request() as req:
+                yield req
+                raise RuntimeError("dies holding the resource")
+
+        def second_user():
+            with res.request() as req:
+                yield req
+                return env.now
+
+        def supervisor():
+            try:
+                yield env.process(failing_user())
+            except RuntimeError:
+                pass
+            result = yield env.process(second_user())
+            return result
+
+        p = env.process(supervisor())
+        assert env.run(until=p) == 0.0
+
+    def test_double_release_is_idempotent(self, env):
+        res = Resource(env, capacity=1)
+
+        def user():
+            req = res.request()
+            yield req
+            res.release(req)
+            res.release(req)
+
+        env.process(user())
+        env.run()
+        assert res.count == 0
+
+    def test_cancel_waiting_request(self, env):
+        res = Resource(env, capacity=1)
+
+        def holder():
+            with res.request() as req:
+                yield req
+                yield env.timeout(10.0)
+
+        def impatient():
+            req = res.request()
+            yield env.timeout(1.0)
+            req.cancel()
+            res.release(req)  # release of an unmet request == cancel
+
+        env.process(holder())
+        env.process(impatient())
+        env.run()
+        assert res.queue_length == 0
+
+    def test_utilization_counts(self, env):
+        res = Resource(env, capacity=4)
+        reqs = [res.request() for _ in range(3)]
+        env.run()
+        assert res.count == 3
+        for r in reqs:
+            res.release(r)
+        assert res.count == 0
+
+
+class TestPriorityResource:
+    def test_lower_priority_value_served_first(self, env):
+        res = PriorityResource(env, capacity=1)
+        order = []
+
+        def holder():
+            with res.request() as req:
+                yield req
+                yield env.timeout(5.0)
+
+        def user(name, prio, arrive):
+            yield env.timeout(arrive)
+            with res.request(priority=prio) as req:
+                yield req
+                order.append(name)
+
+        env.process(holder())
+        env.process(user("low", 10, 1.0))
+        env.process(user("high", 0, 2.0))
+        env.run()
+        assert order == ["high", "low"]
+
+    def test_fifo_within_priority(self, env):
+        res = PriorityResource(env, capacity=1)
+        order = []
+
+        def holder():
+            with res.request() as req:
+                yield req
+                yield env.timeout(5.0)
+
+        def user(name, arrive):
+            yield env.timeout(arrive)
+            with res.request(priority=1) as req:
+                yield req
+                order.append(name)
+
+        env.process(holder())
+        env.process(user("first", 1.0))
+        env.process(user("second", 2.0))
+        env.run()
+        assert order == ["first", "second"]
+
+
+class TestStore:
+    def test_put_then_get(self, env):
+        store = Store(env)
+        results = []
+
+        def producer():
+            yield store.put("item")
+
+        def consumer():
+            item = yield store.get()
+            results.append(item)
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert results == ["item"]
+
+    def test_get_blocks_until_put(self, env):
+        store = Store(env)
+        results = []
+
+        def consumer():
+            item = yield store.get()
+            results.append((item, env.now))
+
+        def late_producer():
+            yield env.timeout(3.0)
+            yield store.put("late")
+
+        env.process(consumer())
+        env.process(late_producer())
+        env.run()
+        assert results == [("late", 3.0)]
+
+    def test_fifo_order(self, env):
+        store = Store(env)
+        out = []
+
+        def producer():
+            for i in range(3):
+                yield store.put(i)
+
+        def consumer():
+            for _ in range(3):
+                item = yield store.get()
+                out.append(item)
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert out == [0, 1, 2]
+
+    def test_bounded_capacity_blocks_put(self, env):
+        store = Store(env, capacity=1)
+        log = []
+
+        def producer():
+            yield store.put("a")
+            log.append(("put-a", env.now))
+            yield store.put("b")
+            log.append(("put-b", env.now))
+
+        def slow_consumer():
+            yield env.timeout(5.0)
+            item = yield store.get()
+            log.append((f"got-{item}", env.now))
+
+        env.process(producer())
+        env.process(slow_consumer())
+        env.run()
+        assert ("put-a", 0.0) in log
+        assert ("put-b", 5.0) in log
+
+    def test_invalid_capacity(self, env):
+        with pytest.raises(ResourceError):
+            Store(env, capacity=0)
+
+    def test_len(self, env):
+        store = Store(env)
+        store.put(1)
+        store.put(2)
+        env.run()
+        assert len(store) == 2
+
+
+class TestFilterStore:
+    def test_filtered_get_takes_matching_item(self, env):
+        store = FilterStore(env)
+        out = []
+
+        def producer():
+            for item in ("apple", "banana", "cherry"):
+                yield store.put(item)
+
+        def consumer():
+            item = yield store.get(lambda s: s.startswith("b"))
+            out.append(item)
+
+        env.process(producer())
+        env.process(consumer())
+        env.run()
+        assert out == ["banana"]
+        assert store.items == ["apple", "cherry"]
+
+    def test_filtered_get_waits_for_match(self, env):
+        store = FilterStore(env)
+        out = []
+
+        def consumer():
+            item = yield store.get(lambda x: x > 10)
+            out.append((item, env.now))
+
+        def producer():
+            yield store.put(1)
+            yield env.timeout(2.0)
+            yield store.put(99)
+
+        env.process(consumer())
+        env.process(producer())
+        env.run()
+        assert out == [(99, 2.0)]
+        assert store.items == [1]
+
+    def test_unfiltered_get_acts_fifo(self, env):
+        store = FilterStore(env)
+        out = []
+
+        def run():
+            yield store.put("x")
+            yield store.put("y")
+            out.append((yield store.get()))
+
+        env.process(run())
+        env.run()
+        assert out == ["x"]
+
+    def test_multiple_getters_matched_independently(self, env):
+        store = FilterStore(env)
+        out = {}
+
+        def consumer(name, pred):
+            item = yield store.get(pred)
+            out[name] = item
+
+        env.process(consumer("evens", lambda x: x % 2 == 0))
+        env.process(consumer("odds", lambda x: x % 2 == 1))
+
+        def producer():
+            yield store.put(3)
+            yield store.put(4)
+
+        env.process(producer())
+        env.run()
+        assert out == {"evens": 4, "odds": 3}

@@ -1,0 +1,85 @@
+"""Property tests for the discrete-event kernel's ordering guarantees."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.common import Environment
+
+
+class TestEventOrderingProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0),
+                    min_size=1, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_timeouts_fire_in_nondecreasing_time(self, delays):
+        env = Environment()
+        fired = []
+
+        def waiter(delay, idx):
+            yield env.timeout(delay)
+            fired.append((env.now, idx))
+
+        for i, d in enumerate(delays):
+            env.process(waiter(d, i))
+        env.run()
+        times = [t for t, _ in fired]
+        assert times == sorted(times)
+        assert len(fired) == len(delays)
+
+    @given(st.integers(min_value=2, max_value=25))
+    @settings(max_examples=30, deadline=None)
+    def test_fifo_among_equal_times(self, n):
+        env = Environment()
+        fired = []
+
+        def waiter(idx):
+            yield env.timeout(1.0)
+            fired.append(idx)
+
+        for i in range(n):
+            env.process(waiter(i))
+        env.run()
+        assert fired == list(range(n))
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=10.0),
+                    min_size=1, max_size=20))
+    @settings(max_examples=30, deadline=None)
+    def test_clock_never_goes_backward(self, delays):
+        env = Environment()
+        observations = []
+
+        def chain():
+            for d in delays:
+                before = env.now
+                yield env.timeout(d)
+                observations.append((before, env.now))
+
+        env.process(chain())
+        env.run()
+        for before, after in observations:
+            assert after >= before
+
+    @given(st.integers(min_value=1, max_value=12),
+           st.integers(min_value=1, max_value=4))
+    @settings(max_examples=30, deadline=None)
+    def test_resource_conserves_grants(self, n_users, capacity):
+        from repro.common import Resource
+        env = Environment()
+        res = Resource(env, capacity=capacity)
+        served = []
+        concurrency = {"now": 0, "max": 0}
+
+        def user(i):
+            with res.request() as req:
+                yield req
+                concurrency["now"] += 1
+                concurrency["max"] = max(concurrency["max"],
+                                         concurrency["now"])
+                yield env.timeout(1.0)
+                concurrency["now"] -= 1
+                served.append(i)
+
+        for i in range(n_users):
+            env.process(user(i))
+        env.run()
+        assert sorted(served) == list(range(n_users))
+        assert concurrency["max"] <= capacity
+        assert res.count == 0 and res.queue_length == 0

@@ -1,0 +1,59 @@
+"""Tests for unit formatting helpers and deterministic RNG derivation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common import units
+from repro.common.rng import derive_seed, generator
+
+
+class TestUnits:
+    def test_size_constants(self):
+        assert units.KiB == 1024
+        assert units.MiB == 1024 ** 2
+        assert units.GiB == 1024 ** 3
+        assert units.GB == 10 ** 9
+
+    def test_bytes_h(self):
+        assert units.bytes_h(512) == "512 B"
+        assert units.bytes_h(2048) == "2.00 KiB"
+        assert units.bytes_h(3 * units.MiB) == "3.00 MiB"
+        assert units.bytes_h(1.5 * units.GiB) == "1.50 GiB"
+
+    def test_seconds_h(self):
+        assert units.seconds_h(90.0) == "1m30.00s"
+        assert units.seconds_h(2.5) == "2.500 s"
+        assert units.seconds_h(0.0042) == "4.200 ms"
+        assert units.seconds_h(3e-6) == "3.0 us"
+
+    def test_rate_h_matches_paper_style(self):
+        assert units.rate_h(776.398 * units.MB) == "776.398 MB/s"
+
+
+class TestRng:
+    def test_same_path_same_seed(self):
+        assert derive_seed(1, "a", "b") == derive_seed(1, "a", "b")
+
+    def test_different_path_different_seed(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_different_root_different_seed(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_generator_streams_reproducible(self):
+        g1 = generator(7, "worker", "0")
+        g2 = generator(7, "worker", "0")
+        assert np.array_equal(g1.random(16), g2.random(16))
+
+    def test_generator_streams_independent(self):
+        g1 = generator(7, "worker", "0")
+        g2 = generator(7, "worker", "1")
+        assert not np.array_equal(g1.random(16), g2.random(16))
+
+    @given(st.integers(min_value=0, max_value=2**31),
+           st.text(min_size=0, max_size=20))
+    def test_seed_in_numpy_range(self, root, name):
+        seed = derive_seed(root, name)
+        assert 0 <= seed < 2 ** 63
+        np.random.default_rng(seed)  # must not raise

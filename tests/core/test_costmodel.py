@@ -1,0 +1,106 @@
+"""Tests for the §6.3 analytical cost model."""
+
+import pytest
+
+from repro.core.costmodel import (
+    Calibration,
+    PhaseTimes,
+    map_cpu_time,
+    map_gpu_time,
+    map_speedup,
+    observation3_overhead_fraction,
+    speedup_total,
+    total_time,
+)
+from repro.gpu import KernelSpec, TESLA_C2050
+
+
+@pytest.fixture
+def calib():
+    return Calibration()
+
+
+@pytest.fixture
+def kernel():
+    return KernelSpec("k", lambda i, p: {}, flops_per_element=100.0,
+                      efficiency=0.5)
+
+
+class TestEquations:
+    def test_eq1_total_time(self):
+        phases = [PhaseTimes(map_s=10, reduce_s=2, shuffle_s=1)] * 3
+        t = total_time(phases, submit_s=0.6, io_s=5, schedule_s=0.4)
+        assert t == pytest.approx(3 * 13 + 6.0)
+
+    def test_eq2_speedup(self):
+        assert speedup_total(100.0, 20.0) == 5.0
+        with pytest.raises(ValueError):
+            speedup_total(1.0, 0.0)
+
+    def test_eq3_speedup_positive_for_compute_bound(self, calib, kernel):
+        n = 1e8
+        s = map_speedup(n, flops_per_element=100.0, kernel=kernel,
+                        in_bytes=n * 8, out_bytes=n * 8, calib=calib)
+        assert s > 1.0
+
+    def test_eq4_components_add(self, calib, kernel):
+        n = 1e7
+        in_b, out_b = n * 8, n * 8
+        t = map_gpu_time(n, kernel, in_b, out_b, calib)
+        transfer = (in_b + out_b) / TESLA_C2050.pcie_effective_bps
+        assert t > transfer  # execution adds on top
+        t_cached = map_gpu_time(n, kernel, in_b, out_b, calib,
+                                cached_in_bytes=in_b)
+        assert t_cached == pytest.approx(t - in_b / TESLA_C2050.pcie_effective_bps)
+
+    def test_observation1_shuffle_caps_speedup(self, calib):
+        # Bigger shuffle share -> smaller overall speedup, Map speedup fixed.
+        def overall(shuffle_s):
+            flink = total_time([PhaseTimes(map_s=100, shuffle_s=shuffle_s)],
+                               0.6, 1, 0.1)
+            gflink = total_time([PhaseTimes(map_s=10, shuffle_s=shuffle_s)],
+                                0.6, 1, 0.1)
+            return speedup_total(flink, gflink)
+
+        assert overall(0.0) > overall(50.0) > overall(500.0)
+
+    def test_observation2_cache_improves_speedup(self, calib, kernel):
+        n = 1e7
+        without = map_speedup(n, 100.0, kernel, n * 8, n * 8, calib)
+        with_cache = map_speedup(n, 100.0, kernel, n * 8, n * 8, calib,
+                                 cached_in_bytes=n * 8)
+        assert with_cache > without
+
+    def test_observation3_small_inputs_overhead_bound(self):
+        small = observation3_overhead_fraction(compute_s=0.1, submit_s=0.6,
+                                               io_s=0.5, schedule_s=0.1)
+        large = observation3_overhead_fraction(compute_s=500.0, submit_s=0.6,
+                                               io_s=0.5, schedule_s=0.1)
+        assert small > 0.9
+        assert large < 0.01
+
+    def test_cpu_time_scales_with_cores(self, calib):
+        one = map_cpu_time(1e8, 50.0, calib, cores=1)
+        four = map_cpu_time(1e8, 50.0, calib, cores=4)
+        assert one == pytest.approx(4 * four)
+
+
+class TestModelVsSimulation:
+    """The closed-form model must agree with the discrete-event engine."""
+
+    def test_cpu_map_phase_matches_engine(self, calib):
+        from repro.flink import FlinkSession, OpCost
+        from tests.flink.conftest import make_cluster
+
+        cluster = make_cluster(n_workers=1, cores=1)
+        session = FlinkSession(cluster)
+        n, flops = 5e6, 200.0
+        ds = session.from_collection(list(range(500)), element_nbytes=0.0,
+                                     scale=1e4, parallelism=1)
+        result = ds.map(lambda x: x, cost=OpCost(flops_per_element=flops),
+                        name="m").count()
+        span = result.metrics.span_of("m").seconds
+        predicted = map_cpu_time(n, flops, calib)
+        overhead = (cluster.config.flink.task_schedule_s
+                    + cluster.config.flink.task_deploy_s)
+        assert span == pytest.approx(predicted + overhead, rel=1e-6)

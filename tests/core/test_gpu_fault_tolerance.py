@@ -1,0 +1,94 @@
+"""Fault tolerance on the GPU path: transient GWork failures are retried."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import JobExecutionError, KernelError
+from repro.core import GFlinkCluster, GFlinkSession
+from repro.flink import ClusterConfig, CPUSpec, FlinkConfig
+from repro.gpu import KernelSpec
+
+
+def make_session(max_retries=3):
+    config = ClusterConfig(
+        n_workers=1, cpu=CPUSpec(cores=2), gpus_per_worker=("c2050",),
+        flink=FlinkConfig(max_task_retries=max_retries))
+    cluster = GFlinkCluster(config)
+    return GFlinkSession(cluster)
+
+
+class FlakyKernel:
+    """Functional kernel that crashes its first ``failures`` invocations."""
+
+    def __init__(self, failures: int):
+        self.failures = failures
+        self.calls = 0
+
+    def __call__(self, inputs, params):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise RuntimeError("simulated device fault")
+        return {"out": inputs["in"] * 2.0}
+
+
+class TestGpuRetry:
+    def test_transient_kernel_fault_is_retried(self):
+        session = make_session()
+        flaky = FlakyKernel(failures=2)
+        session.register_kernel(KernelSpec(
+            "flaky", flaky, flops_per_element=1.0, efficiency=0.5))
+        data = np.arange(50, dtype=np.float64)
+        result = session.from_collection(data, element_nbytes=8,
+                                         parallelism=1) \
+            .gpu_map_partition("flaky").collect()
+        assert sorted(result.value) == sorted((data * 2).tolist())
+        assert result.metrics.retries == 2
+        assert flaky.calls == 3
+
+    def test_permanent_fault_exhausts_retry_budget(self):
+        session = make_session(max_retries=2)
+        session.register_kernel(KernelSpec(
+            "doomed", FlakyKernel(failures=99),
+            flops_per_element=1.0, efficiency=0.5))
+        ds = session.from_collection(np.arange(8.0), element_nbytes=8,
+                                     parallelism=1)
+        with pytest.raises(JobExecutionError):
+            ds.gpu_map_partition("doomed").collect()
+
+    def test_unknown_kernel_fails_fast_without_retries(self):
+        session = make_session()
+        ds = session.from_collection(np.arange(8.0), element_nbytes=8,
+                                     parallelism=1)
+        with pytest.raises(KernelError):
+            ds.gpu_map_partition("never_registered").collect()
+
+    def test_retries_cost_simulated_time(self):
+        def run(failures):
+            session = make_session()
+            flaky = FlakyKernel(failures=failures)
+            session.register_kernel(KernelSpec(
+                "flaky", flaky, flops_per_element=1.0, efficiency=0.5))
+            data = np.arange(2000, dtype=np.float64)
+            ds = session.from_collection(data, element_nbytes=8,
+                                         scale=1e3, parallelism=1)
+            return ds.gpu_map_partition("flaky").count().seconds
+
+        assert run(2) > run(0)
+
+
+class TestNoLeakOnFailure:
+    def test_failed_works_do_not_leak_device_memory(self):
+        """Repeated kernel crashes must not exhaust device memory: every
+        retry reclaims the failed attempt's in-flight allocations."""
+        session = make_session(max_retries=3)
+        flaky = FlakyKernel(failures=3)
+        session.register_kernel(KernelSpec(
+            "leaky", flaky, flops_per_element=1.0, efficiency=0.5))
+        data = np.arange(10_000, dtype=np.float64)
+        result = session.from_collection(data, element_nbytes=8,
+                                         scale=1e4, parallelism=1) \
+            .gpu_map_partition("leaky").count()
+        assert result.metrics.retries == 3
+        for gm in session.cluster.gpu_managers():
+            for device in gm.devices:
+                assert device.memory.allocated == 0

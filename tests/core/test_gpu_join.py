@@ -1,0 +1,96 @@
+"""Tests for the GPU hash join (the paper's deferred Join-on-GPU)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core import GFlinkCluster, GFlinkSession
+from repro.flink import ClusterConfig, CPUSpec
+from repro.gpu import KernelSpec
+
+
+def hash_join_kernel(inputs, params):
+    """Join two (key, value) int64 arrays on the key column."""
+    left, right = inputs["in"], inputs["right"]
+    left = np.asarray(left, dtype=np.int64).reshape(-1, 2)
+    right = np.asarray(right, dtype=np.int64).reshape(-1, 2)
+    out = []
+    table = {}
+    for k, v in right:
+        table.setdefault(int(k), []).append(int(v))
+    for k, v in left:
+        for rv in table.get(int(k), ()):
+            out.append((int(k), int(v), rv))
+    return {"out": np.asarray(out, dtype=np.int64).reshape(-1, 3)}
+
+
+@pytest.fixture
+def session():
+    cluster = GFlinkCluster(ClusterConfig(
+        n_workers=2, cpu=CPUSpec(cores=2), gpus_per_worker=("c2050",)))
+    s = GFlinkSession(cluster)
+    s.register_kernel(KernelSpec(
+        "hash_join", hash_join_kernel, flops_per_element=8.0,
+        bytes_per_element=16.0, efficiency=0.3))
+    return s
+
+
+def pairs(items):
+    return np.asarray(items, dtype=np.int64)
+
+
+class TestGpuJoin:
+    def test_matches_cpu_join(self, session):
+        left_data = pairs([(k, k * 10) for k in range(20)])
+        right_data = pairs([(k, k * 100) for k in range(0, 20, 2)])
+        left = session.from_collection(left_data, element_nbytes=16)
+        right = session.from_collection(right_data, element_nbytes=16)
+
+        gpu = left.gpu_join(right,
+                            left_key=lambda row: int(row[0]),
+                            right_key=lambda row: int(row[0]),
+                            kernel_name="hash_join").collect()
+        gpu_rows = sorted(tuple(int(x) for x in row) for row in gpu.value)
+
+        cpu = left.join(right,
+                        left_key=lambda row: int(row[0]),
+                        right_key=lambda row: int(row[0]),
+                        join_fn=lambda l, r: (int(l[0]), int(l[1]),
+                                              int(r[1]))).collect()
+        cpu_rows = sorted(cpu.value)
+        assert gpu_rows == cpu_rows
+
+    def test_duplicate_keys_fan_out(self, session):
+        left = session.from_collection(pairs([(1, 10), (1, 11)]),
+                                       element_nbytes=16)
+        right = session.from_collection(pairs([(1, 100), (1, 101)]),
+                                        element_nbytes=16)
+        result = left.gpu_join(right, lambda r: int(r[0]),
+                               lambda r: int(r[0]), "hash_join").collect()
+        assert len(result.value) == 4
+
+    def test_empty_side_yields_empty(self, session):
+        left = session.from_collection(pairs([(1, 10)]), element_nbytes=16)
+        right = session.from_collection(pairs([(2, 20)]), element_nbytes=16)
+        result = left.gpu_join(right, lambda r: int(r[0]),
+                               lambda r: int(r[0]), "hash_join").collect()
+        assert list(result.value) == []
+
+    def test_join_ships_both_sides_over_pcie(self, session):
+        left = session.from_collection(
+            pairs([(k % 8, k) for k in range(64)]), element_nbytes=16)
+        right = session.from_collection(
+            pairs([(k % 8, k) for k in range(32)]), element_nbytes=16)
+        result = left.gpu_join(right, lambda r: int(r[0]),
+                               lambda r: int(r[0]), "hash_join").count()
+        assert result.metrics.pcie_bytes > 0
+        assert result.metrics.gpu_kernel_s > 0
+
+    def test_requires_gpu_worker(self):
+        cluster = GFlinkCluster(ClusterConfig(n_workers=1))
+        s = GFlinkSession(cluster)
+        left = s.from_collection(pairs([(1, 1)]), element_nbytes=16)
+        right = s.from_collection(pairs([(1, 2)]), element_nbytes=16)
+        with pytest.raises(ConfigError, match="GPUManager"):
+            left.gpu_join(right, lambda r: int(r[0]), lambda r: int(r[0]),
+                          "hash_join").collect()

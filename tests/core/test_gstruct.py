@@ -1,0 +1,189 @@
+"""Tests for GStruct: layout computation, alignment, NumPy mapping, AoS/SoA."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import LayoutError
+from repro.core import (
+    DataLayout,
+    Double64,
+    Float32,
+    GStruct4,
+    GStruct8,
+    Int64,
+    StructField,
+    Unsigned32,
+)
+from repro.core.gstruct import struct_nbytes
+
+
+class Point(GStruct8):
+    """The paper's §3.5.1 example struct."""
+
+    x = StructField(order=0, ftype=Unsigned32)
+    y = StructField(order=1, ftype=Double64)
+    z = StructField(order=2, ftype=Float32)
+
+
+class Packed4(GStruct4):
+    a = StructField(order=0, ftype=Unsigned32)
+    b = StructField(order=1, ftype=Double64)
+
+
+class WithArray(GStruct8):
+    values = StructField(order=0, ftype=Float32, length=8)
+    weight = StructField(order=1, ftype=Double64)
+
+
+class TestLayout:
+    def test_paper_example_layout(self):
+        # C layout with 8-byte alignment: x@0 (4B), pad to 8, y@8 (8B),
+        # z@16 (4B), pad struct to 24.
+        lay = Point.layout()
+        assert lay.offsets == (0, 8, 16)
+        assert lay.itemsize == 24
+        assert lay.field_names() == ["x", "y", "z"]
+
+    def test_four_byte_alignment_packs_tighter(self):
+        # GStruct_4: a@0, b@4 (double aligned to min(8,4)=4), size 12.
+        lay = Packed4.layout()
+        assert lay.offsets == (0, 4)
+        assert lay.itemsize == 12
+
+    def test_in_struct_array_fields(self):
+        lay = WithArray.layout()
+        assert lay.offsets == (0, 32)
+        assert lay.itemsize == 40
+        assert WithArray.layout().fields[0].nbytes == 32
+
+    def test_duplicate_orders_rejected(self):
+        with pytest.raises(LayoutError):
+            class Bad(GStruct8):
+                a = StructField(order=0, ftype=Float32)
+                b = StructField(order=0, ftype=Float32)
+
+    def test_non_contiguous_orders_rejected(self):
+        with pytest.raises(LayoutError):
+            class Bad(GStruct8):
+                a = StructField(order=0, ftype=Float32)
+                b = StructField(order=2, ftype=Float32)
+
+    def test_fieldless_struct_has_no_layout(self):
+        class Empty(GStruct8):
+            pass
+
+        with pytest.raises(LayoutError):
+            Empty.layout()
+
+    def test_struct_nbytes(self):
+        assert struct_nbytes(Point, 100) == 2400
+
+
+class TestNumpyMapping:
+    def test_dtype_matches_layout(self):
+        dt = Point.numpy_dtype()
+        assert dt.itemsize == 24
+        assert dt.fields["x"][1] == 0
+        assert dt.fields["y"][1] == 8
+        assert dt.fields["z"][1] == 16
+
+    def test_raw_bytes_match_cuda_struct_layout(self):
+        # Writing through the structured array places each field at its C
+        # offset — the "no serialization needed" property.
+        arr = Point.empty(2)
+        arr["x"] = [1, 2]
+        arr["y"] = [1.5, 2.5]
+        arr["z"] = [9.0, 10.0]
+        raw = arr.tobytes()
+        assert len(raw) == 48
+        assert np.frombuffer(raw[0:4], dtype="<u4")[0] == 1
+        assert np.frombuffer(raw[8:16], dtype="<f8")[0] == 1.5
+        assert np.frombuffer(raw[16:20], dtype="<f4")[0] == 9.0
+        assert np.frombuffer(raw[24:28], dtype="<u4")[0] == 2
+
+    def test_empty_aos(self):
+        arr = Point.empty(10)
+        assert arr.shape == (10,)
+        assert arr.dtype == Point.numpy_dtype()
+
+    def test_empty_soa(self):
+        soa = Point.empty(10, layout=DataLayout.SOA)
+        assert set(soa) == {"x", "y", "z"}
+        assert soa["y"].dtype == np.dtype("<f8")
+        assert all(len(a) == 10 for a in soa.values())
+
+    def test_array_field_soa_shape(self):
+        soa = WithArray.empty(5, layout=DataLayout.SOA)
+        assert soa["values"].shape == (5, 8)
+
+    def test_aos_soa_roundtrip(self):
+        arr = Point.empty(4)
+        arr["x"] = np.arange(4)
+        arr["y"] = np.linspace(0, 1, 4)
+        arr["z"] = np.arange(4, dtype=np.float32) * 2
+        soa = Point.to_soa(arr)
+        assert all(a.flags["C_CONTIGUOUS"] for a in soa.values())
+        back = Point.from_soa(soa)
+        assert np.array_equal(back, arr)
+
+
+class TestFieldValidation:
+    def test_negative_order_rejected(self):
+        with pytest.raises(LayoutError):
+            StructField(order=-1, ftype=Float32)
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(LayoutError):
+            StructField(order=0, ftype=Float32, length=0)
+
+
+class TestRawBytes:
+    def test_roundtrip(self):
+        arr = Point.empty(5)
+        arr["x"] = np.arange(5)
+        arr["y"] = np.linspace(0, 1, 5)
+        arr["z"] = np.arange(5, dtype=np.float32) * 3
+        back = Point.from_bytes(Point.to_bytes(arr))
+        assert np.array_equal(back, arr)
+
+    def test_to_bytes_rejects_wrong_dtype(self):
+        with pytest.raises(LayoutError):
+            Point.to_bytes(np.zeros(4, dtype=np.float64))
+
+    def test_from_bytes_rejects_partial_struct(self):
+        with pytest.raises(LayoutError):
+            Point.from_bytes(b"\x00" * (Point.itemsize() + 1))
+
+    def test_bytes_len_matches_itemsize(self):
+        arr = Point.empty(7)
+        assert len(Point.to_bytes(arr)) == 7 * Point.itemsize()
+
+    @given(st.integers(min_value=0, max_value=50))
+    def test_roundtrip_property(self, n):
+        arr = Point.empty(n)
+        arr["x"] = np.arange(n, dtype=np.uint32)
+        back = Point.from_bytes(Point.to_bytes(arr))
+        assert np.array_equal(back, arr)
+
+
+@given(st.integers(min_value=1, max_value=6))
+def test_property_offsets_are_aligned_and_disjoint(n_fields):
+    """Any struct the metaclass accepts has aligned, non-overlapping fields."""
+    types = [Unsigned32, Double64, Float32, Int64]
+    namespace = {
+        f"f{i}": StructField(order=i, ftype=types[i % len(types)])
+        for i in range(n_fields)
+    }
+    cls = type("Gen", (GStruct8,), namespace)
+    lay = cls.layout()
+    prev_end = 0
+    for f, off in zip(lay.fields, lay.offsets):
+        align = min(f.ftype.nbytes, lay.alignment)
+        assert off % align == 0
+        assert off >= prev_end
+        prev_end = off + f.nbytes
+    assert lay.itemsize >= prev_end
+    assert lay.itemsize % lay.alignment == 0
+    # NumPy accepts the computed layout verbatim.
+    cls.numpy_dtype()

@@ -1,0 +1,102 @@
+"""Unit tests for Algorithms 5.1 and 5.2 in isolation."""
+
+from collections import deque
+
+import pytest
+
+from repro.common import Environment
+from repro.core.gmemory import GMemoryManager
+from repro.core.gwork import GWork
+from repro.core.hbuffer import HBuffer
+from repro.core.scheduling import schedule_work, steal_work
+from repro.gpu import GPUDevice, TESLA_C2050
+
+
+class FakeStream:
+    def __init__(self, device_index):
+        self.device_index = device_index
+
+
+def make_work(cache=False, key=("base", 0), app="app"):
+    h = HBuffer([0.0] * 8, element_nbytes=8)
+    return GWork(execute_name="k", in_buffers={"in": h},
+                 out_buffer=HBuffer([], 8), size=8,
+                 cache=cache, cache_key=key if cache else None, app_id=app)
+
+
+@pytest.fixture
+def gmm():
+    env = Environment()
+    devices = [GPUDevice(env, TESLA_C2050, index=i) for i in range(2)]
+    return GMemoryManager(devices, cache_capacity_per_device=1000)
+
+
+class TestAlgorithm51:
+    def test_no_locality_picks_most_idle_bulk(self, gmm):
+        idle = [[FakeStream(0)], [FakeStream(1), FakeStream(1)]]
+        decision = schedule_work(make_work(), gmm, [], idle,
+                                 [deque(), deque()])
+        assert decision.dispatched
+        assert decision.stream.device_index == 1
+
+    def test_locality_prefers_gid_bulk(self, gmm):
+        gmm.region("app", 0).try_insert(("base", 0, "in", 0), 500)
+        idle = [[FakeStream(0)], [FakeStream(1), FakeStream(1)]]
+        decision = schedule_work(make_work(cache=True), gmm,
+                                 [("base", 0, "in", 0)], idle,
+                                 [deque(), deque()])
+        # GID=0 has an idle stream: locality wins over balance.
+        assert decision.stream.device_index == 0
+        assert decision.gid == 0
+
+    def test_gid_bulk_busy_falls_back_to_most_idle(self, gmm):
+        gmm.region("app", 0).try_insert(("base", 0, "in", 0), 500)
+        idle = [[], [FakeStream(1)]]
+        decision = schedule_work(make_work(cache=True), gmm,
+                                 [("base", 0, "in", 0)], idle,
+                                 [deque(), deque()])
+        assert decision.stream.device_index == 1
+
+    def test_all_busy_with_gid_queues_to_gid(self, gmm):
+        gmm.region("app", 1).try_insert(("base", 0, "in", 0), 500)
+        decision = schedule_work(make_work(cache=True), gmm,
+                                 [("base", 0, "in", 0)], [[], []],
+                                 [deque(), deque()])
+        assert not decision.dispatched
+        assert decision.queue_index == 1
+
+    def test_all_busy_no_gid_queues_to_shortest(self, gmm):
+        q0 = deque([make_work(), make_work()])
+        q1 = deque([make_work()])
+        decision = schedule_work(make_work(), gmm, [], [[], []], [q0, q1])
+        assert decision.queue_index == 1
+
+    def test_empty_cluster_balanced_queueing(self, gmm):
+        # Submitting many works with no idle streams spreads them.
+        queues = [deque(), deque()]
+        for _ in range(6):
+            d = schedule_work(make_work(), gmm, [], [[], []], queues)
+            queues[d.queue_index].append(make_work())
+        assert len(queues[0]) == 3 and len(queues[1]) == 3
+
+
+class TestAlgorithm52:
+    def test_own_queue_first(self):
+        w0, w1 = make_work(), make_work()
+        queues = [deque([w0]), deque([w1])]
+        assert steal_work(0, queues) is w0
+
+    def test_steal_from_longest_queue(self):
+        w = [make_work() for _ in range(3)]
+        queues = [deque(), deque([w[0]]), deque([w[1], w[2]])]
+        assert steal_work(0, queues) is w[1]
+
+    def test_all_empty_returns_none(self):
+        assert steal_work(0, [deque(), deque()]) is None
+
+    def test_fifo_within_queue(self):
+        a, b = make_work(), make_work()
+        queues = [deque([a, b])]
+        assert steal_work(0, queues) is a
+        assert steal_work(0, queues) is b
+        assert steal_work(0, queues) is None

@@ -1,0 +1,23 @@
+"""Shared fixtures for Flink substrate tests: a small, fast cluster."""
+
+import pytest
+
+from repro.flink import Cluster, ClusterConfig, CPUSpec, FlinkConfig, FlinkSession
+
+
+def make_cluster(n_workers=2, cores=2, **flink_overrides):
+    flink = FlinkConfig(**flink_overrides) if flink_overrides else FlinkConfig()
+    config = ClusterConfig(n_workers=n_workers,
+                           cpu=CPUSpec(cores=cores),
+                           flink=flink)
+    return Cluster(config)
+
+
+@pytest.fixture
+def cluster():
+    return make_cluster()
+
+
+@pytest.fixture
+def session(cluster):
+    return FlinkSession(cluster)

@@ -1,0 +1,62 @@
+"""Tests for the GPU utilization report and wrapper-level CUDA events."""
+
+import numpy as np
+import pytest
+
+from repro.common import Environment
+from repro.core import GFlinkCluster, GFlinkSession
+from repro.core.channels import CommCosts, CUDAWrapper
+from repro.flink import ClusterConfig, CPUSpec
+from repro.flink.report import gpu_report
+from repro.gpu import CUDARuntime, GPUDevice, KernelRegistry, KernelSpec, TESLA_C2050
+
+
+class TestGpuReport:
+    def test_report_after_gpu_job(self):
+        cluster = GFlinkCluster(ClusterConfig(
+            n_workers=2, cpu=CPUSpec(cores=2),
+            gpus_per_worker=("c2050",)))
+        session = GFlinkSession(cluster)
+        session.register_kernel(KernelSpec(
+            "double", lambda i, p: {"out": i["in"] * 2.0},
+            flops_per_element=2.0, efficiency=0.5))
+        data = np.arange(2000, dtype=np.float64)
+        ds = session.from_collection(data, element_nbytes=8,
+                                     parallelism=2).persist()
+        ds.materialize()
+        ds.gpu_map_partition("double", cache=True,
+                             cache_key_base="r").count()
+        ds.gpu_map_partition("double", cache=True,
+                             cache_key_base="r").count()
+        text = gpu_report(cluster)
+        assert "worker0-gpu0" in text
+        assert "cache hit%" in text
+        # Second run hit the cache: a non-n/a hit percentage appears.
+        assert "%" in text.splitlines()[1] or "%" in text
+
+    def test_report_without_gpus(self):
+        cluster = GFlinkCluster(ClusterConfig(n_workers=1))
+        assert gpu_report(cluster) == "no GPUs in this cluster"
+
+
+class TestWrapperEvents:
+    def test_event_record_and_synchronize(self):
+        env = Environment()
+        device = GPUDevice(env, TESLA_C2050)
+        runtime = CUDARuntime(env, [device], KernelRegistry())
+        wrapper = CUDAWrapper(env, runtime, CommCosts())
+        stream = wrapper.cuda_stream_create(device)
+
+        def op():
+            yield env.timeout(1.5)
+
+        stream.enqueue(op)
+        marker = wrapper.cuda_event_record(stream)
+
+        def waiter():
+            yield wrapper.cuda_event_synchronize(marker)
+            return env.now
+
+        p = env.process(waiter())
+        assert env.run(until=p) == 1.5
+        assert wrapper.jni_calls >= 3  # stream create + record + sync

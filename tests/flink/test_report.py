@@ -1,0 +1,68 @@
+"""Tests for the reporting helpers (timeline / breakdown / summary)."""
+
+from repro.flink import FlinkSession, OpCost
+from repro.flink.report import breakdown, session_summary, timeline
+from tests.flink.conftest import make_cluster
+
+
+def run_job(session):
+    return session.from_collection(list(range(100)), element_nbytes=8.0,
+                                   scale=100.0) \
+        .map(lambda x: x + 1, cost=OpCost(flops_per_element=10.0),
+             name="plus-one") \
+        .group_by(lambda x: x % 3) \
+        .reduce(lambda a, b: a + b, name="mod-sum") \
+        .collect(job_name="report-demo")
+
+
+class TestTimeline:
+    def test_contains_all_operators(self, session):
+        result = run_job(session)
+        text = timeline(result.metrics)
+        assert "report-demo" in text
+        assert "plus-one" in text
+        assert "mod-sum" in text
+        assert "collect" in text
+
+    def test_bars_ordered_and_bounded(self, session):
+        result = run_job(session)
+        text = timeline(result.metrics, width=40)
+        bar_lines = [l for l in text.splitlines() if "|" in l]
+        assert bar_lines
+        for line in bar_lines:
+            bar = line.split("|")[1]
+            assert len(bar) == 40
+            assert "#" in bar
+
+    def test_empty_metrics(self):
+        from repro.flink.jobmanager import JobMetrics
+        text = timeline(JobMetrics(job_name="empty"))
+        assert "no operator spans" in text
+
+
+class TestBreakdown:
+    def test_contains_eq1_terms(self, session):
+        result = run_job(session)
+        text = breakdown(result.metrics)
+        for term in ("T_submit", "T_schedule", "compute", "shuffle",
+                     "Observation 3"):
+            assert term in text
+
+    def test_overhead_fraction_sensible(self, session):
+        result = run_job(session)
+        text = breakdown(result.metrics)
+        line = next(l for l in text.splitlines() if "Observation 3" in l)
+        pct = float(line.split("%")[0].split()[-1])
+        assert 0.0 <= pct <= 100.0
+
+
+class TestSessionSummary:
+    def test_lists_jobs_and_total(self, session):
+        run_job(session)
+        run_job(session)
+        text = session_summary(session.history)
+        assert text.count("report-demo") == 2
+        assert "TOTAL (2 jobs)" in text
+
+    def test_empty_history(self):
+        assert session_summary([]) == "no jobs run"

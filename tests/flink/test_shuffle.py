@@ -1,0 +1,139 @@
+"""Unit and property tests for the exchange layer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common import Environment
+from repro.common.network import Network, NetworkConfig
+from repro.flink.partition import Partition, split_evenly
+from repro.flink.plan import ShipStrategy
+from repro.flink.serialization import Serializer
+from repro.flink.shuffle import Exchange, hash_bucket
+
+WORKERS = ["w0", "w1"]
+
+
+def make_exchange(env, strategy, producers, n_consumers, **kw):
+    net = Network(env, WORKERS, NetworkConfig(latency_s=0.0))
+    ser = Serializer(1e9)
+    consumer_workers = [WORKERS[j % len(WORKERS)] for j in range(n_consumers)]
+    return Exchange(env, net, ser, strategy, producers, n_consumers,
+                    consumer_workers, **kw)
+
+
+def run(env, exchange):
+    proc = env.process(exchange.run())
+    return env.run(until=proc)
+
+
+def parts(elements, n, worker_cycle=WORKERS, element_nbytes=8.0, scale=1.0):
+    ps = split_evenly(elements, n, element_nbytes, scale)
+    for p in ps:
+        p.worker = worker_cycle[p.index % len(worker_cycle)]
+    return ps
+
+
+class TestHashBucket:
+    @given(st.integers())
+    def test_int_keys_modulo(self, key):
+        assert hash_bucket(key, 7) == key % 7
+
+    @given(st.text(max_size=30), st.integers(min_value=1, max_value=64))
+    def test_in_range_and_stable(self, key, n):
+        b = hash_bucket(key, n)
+        assert 0 <= b < n
+        assert hash_bucket(key, n) == b
+
+    def test_tuple_keys_supported(self):
+        assert 0 <= hash_bucket(("a", 3), 5) < 5
+
+
+class TestExchangeStrategies:
+    def test_hash_partitions_by_key(self):
+        env = Environment()
+        producers = parts([(i % 6, i) for i in range(60)], 3)
+        ex = make_exchange(env, ShipStrategy.HASH, producers, 4,
+                           key_fn=lambda kv: kv[0])
+        result = run(env, ex)
+        assert len(result.inputs) == 4
+        seen = []
+        for j, part in enumerate(result.inputs):
+            for key, _ in part.elements:
+                assert hash_bucket(key, 4) == j
+            seen.extend(part.elements)
+        assert sorted(seen) == sorted((i % 6, i) for i in range(60))
+
+    def test_gather_collects_everything_to_one(self):
+        env = Environment()
+        producers = parts(list(range(30)), 3)
+        ex = make_exchange(env, ShipStrategy.GATHER, producers, 1)
+        result = run(env, ex)
+        assert sorted(result.inputs[0].elements) == list(range(30))
+
+    def test_rebalance_even_split(self):
+        env = Environment()
+        producers = parts(list(range(100)), 2)
+        ex = make_exchange(env, ShipStrategy.REBALANCE, producers, 4)
+        result = run(env, ex)
+        sizes = [len(p.elements) for p in result.inputs]
+        assert sum(sizes) == 100
+        assert max(sizes) - min(sizes) <= 2
+
+    def test_broadcast_full_copy_everywhere(self):
+        env = Environment()
+        producers = parts(list(range(10)), 2)
+        ex = make_exchange(env, ShipStrategy.BROADCAST, producers, 3)
+        result = run(env, ex)
+        for part in result.inputs:
+            assert sorted(part.elements) == list(range(10))
+
+    def test_forward_parallelism_mismatch_rejected(self):
+        env = Environment()
+        producers = parts(list(range(10)), 2)
+        ex = make_exchange(env, ShipStrategy.FORWARD, producers, 3)
+        with pytest.raises(ValueError):
+            run(env, ex)
+
+    def test_combiner_shrinks_traffic(self):
+        def traffic(combiner):
+            env = Environment()
+            producers = parts([(i % 2, 1) for i in range(200)], 2,
+                              element_nbytes=100.0)
+            ex = make_exchange(env, ShipStrategy.HASH, producers, 2,
+                               key_fn=lambda kv: kv[0], combiner=combiner)
+            result = run(env, ex)
+            total = sorted(x for p in result.inputs for x in p.elements)
+            return result.bytes_shuffled, total
+
+        raw_bytes, _ = traffic(None)
+        combined_bytes, combined = traffic(
+            (lambda kv: kv[0], lambda a, b: (a[0], a[1] + b[1])))
+        assert combined_bytes < raw_bytes
+        # The exchange ships one partial per (producer, key); the consumer
+        # operator merges them.  Totals must be preserved.
+        totals = {}
+        for key, value in combined:
+            totals[key] = totals.get(key, 0) + value
+        assert totals == {0: 100, 1: 100}
+
+    def test_nominal_scale_preserved_through_hash(self):
+        env = Environment()
+        producers = parts(list(range(50)), 2, scale=100.0)
+        ex = make_exchange(env, ShipStrategy.HASH, producers, 2,
+                           key_fn=lambda x: x)
+        result = run(env, ex)
+        total_nominal = sum(p.nominal_count for p in result.inputs)
+        assert total_nominal == pytest.approx(50 * 100.0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=1000),
+                    min_size=0, max_size=200),
+           st.integers(min_value=1, max_value=8),
+           st.integers(min_value=1, max_value=8))
+    def test_hash_exchange_preserves_multiset(self, elements, p, q):
+        env = Environment()
+        producers = parts(list(elements), p)
+        ex = make_exchange(env, ShipStrategy.HASH, producers, q,
+                           key_fn=lambda x: x)
+        result = run(env, ex)
+        out = sorted(x for part in result.inputs for x in part.elements)
+        assert out == sorted(elements)

@@ -1,0 +1,71 @@
+"""Tests for the stock kernel library."""
+
+import numpy as np
+import pytest
+
+from repro.core import GFlinkCluster, GFlinkSession
+from repro.flink import ClusterConfig, CPUSpec
+from repro.gpu import KernelRegistry
+from repro.gpu.kernels import (
+    HISTOGRAM,
+    STANDARD_KERNELS,
+    register_standard_kernels,
+)
+
+
+@pytest.fixture
+def session():
+    cluster = GFlinkCluster(ClusterConfig(
+        n_workers=1, cpu=CPUSpec(cores=2), gpus_per_worker=("c2050",)))
+    register_standard_kernels(cluster.registry)
+    return GFlinkSession(cluster)
+
+
+class TestRegistration:
+    def test_all_registered(self):
+        reg = KernelRegistry()
+        register_standard_kernels(reg)
+        for spec in STANDARD_KERNELS:
+            assert spec.name in reg
+
+    def test_idempotent(self):
+        reg = KernelRegistry()
+        register_standard_kernels(reg)
+        register_standard_kernels(reg)  # no duplicate error
+        assert len(reg.names()) == len(STANDARD_KERNELS)
+
+
+class TestStockKernels:
+    def test_saxpy(self, session):
+        data = np.arange(100, dtype=np.float64)
+        out = session.from_collection(data, element_nbytes=8) \
+            .gpu_map("saxpy", params={"a": 2.0, "b": 1.0}).collect()
+        assert np.allclose(sorted(out.value), sorted(2 * data + 1))
+
+    def test_sum_min_max(self, session):
+        data = np.arange(1, 201, dtype=np.float64)
+        ds = session.from_collection(data, element_nbytes=8,
+                                     parallelism=2).persist()
+        ds.materialize()
+        total = ds.gpu_reduce("sum_reduce", lambda a, b: a + b).collect()
+        lo = ds.gpu_reduce("min_reduce", lambda a, b: min(a, b)).collect()
+        hi = ds.gpu_reduce("max_reduce", lambda a, b: max(a, b)).collect()
+        assert total.value[0] == pytest.approx(data.sum())
+        assert lo.value[0] == 1.0
+        assert hi.value[0] == 200.0
+
+    def test_histogram(self, session):
+        data = np.linspace(0, 1, 256, endpoint=False)
+        partials = session.from_collection(data, element_nbytes=8,
+                                           parallelism=2) \
+            .gpu_map_partition("histogram",
+                               params={"bins": 4, "lo": 0.0, "hi": 1.0},
+                               scale_semantics="reduce") \
+            .collect()
+        counts = np.sum(np.array(partials.value).reshape(-1, 4), axis=0)
+        assert counts.tolist() == [64, 64, 64, 64]
+
+    def test_histogram_kernel_fn_direct(self):
+        out = HISTOGRAM.fn({"in": np.array([0.1, 0.6, 0.7])},
+                           {"bins": 2, "lo": 0.0, "hi": 1.0})
+        assert out["out"].tolist() == [1, 2]

@@ -1,0 +1,82 @@
+"""Tests for GPU specs and device memory."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import ConfigError, MemoryExhaustedError
+from repro.gpu import SPECS, get_spec, GTX750, TESLA_C2050, TESLA_K20, TESLA_P100
+from repro.gpu.memory import DeviceMemory, HostBuffer
+
+
+class TestSpecs:
+    def test_registry_contains_testbed_gpus(self):
+        assert set(SPECS) == {"gtx750", "c2050", "k20", "p100"}
+
+    def test_lookup_case_insensitive(self):
+        assert get_spec("K20") is TESLA_K20
+
+    def test_unknown_spec_raises(self):
+        with pytest.raises(ConfigError):
+            get_spec("h100")
+
+    def test_duplex_matches_paper(self):
+        # §4.1.2: one-engine GPUs are half duplex; "GPUs with two copy
+        # engines, such as NVIDIA's Tesla K20" are full duplex.
+        assert not GTX750.full_duplex
+        assert not TESLA_C2050.full_duplex
+        assert TESLA_K20.full_duplex
+        assert TESLA_P100.full_duplex
+
+    def test_fig8b_ordering_of_peak_throughput(self):
+        # Fig 8b: P100 fastest, K20 next, GTX750 ~ C2050.
+        assert TESLA_P100.sp_gflops > TESLA_K20.sp_gflops
+        assert TESLA_K20.sp_gflops > GTX750.sp_gflops
+        assert abs(GTX750.sp_gflops - TESLA_C2050.sp_gflops) \
+            / TESLA_C2050.sp_gflops < 0.05
+
+
+class TestDeviceMemory:
+    def test_alloc_free_cycle(self):
+        mem = DeviceMemory(1000, "gpu0")
+        buf = mem.alloc(400)
+        assert mem.available == 600
+        mem.free(buf)
+        assert mem.available == 1000
+        assert mem.alloc_count == 1 and mem.free_count == 1
+
+    def test_oom(self):
+        mem = DeviceMemory(1000, "gpu0")
+        mem.alloc(900)
+        with pytest.raises(MemoryExhaustedError):
+            mem.alloc(200)
+
+    def test_double_free_rejected(self):
+        mem = DeviceMemory(1000, "gpu0")
+        buf = mem.alloc(10)
+        mem.free(buf)
+        with pytest.raises(ConfigError):
+            mem.free(buf)
+
+    def test_peak_tracking(self):
+        mem = DeviceMemory(1000, "gpu0")
+        a = mem.alloc(300)
+        b = mem.alloc(500)
+        mem.free(a)
+        mem.free(b)
+        assert mem.peak_allocated == 800
+
+    @given(st.lists(st.integers(min_value=0, max_value=100), max_size=30))
+    def test_accounting_invariant(self, sizes):
+        mem = DeviceMemory(10_000, "gpu0")
+        live = []
+        for s in sizes:
+            live.append(mem.alloc(s))
+        assert mem.allocated == sum(b.nbytes for b in live)
+        for b in live:
+            mem.free(b)
+        assert mem.allocated == 0
+
+    def test_host_buffer_defaults(self):
+        hb = HostBuffer(64)
+        assert not hb.pinned
+        assert hb.dma_capable

@@ -1,0 +1,81 @@
+"""Tests for datanode failure and replica failover."""
+
+import pytest
+
+from repro.common import Environment
+from repro.common.errors import ConfigError
+from repro.common.network import Network, NetworkConfig
+from repro.hdfs import HDFS, DiskConfig
+
+NODES = ["n0", "n1", "n2"]
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def fs(env):
+    net = Network(env, NODES, NetworkConfig(latency_s=0.0))
+    return HDFS(env, NODES, net, replication=2,
+                disk=DiskConfig(read_bps=100e6, write_bps=100e6, seek_s=0.0))
+
+
+def run(env, gen):
+    return env.run(until=env.process(gen))
+
+
+class TestReplicaFailover:
+    def test_read_survives_one_replica_loss(self, env, fs):
+        run(env, fs.write("/f", [("payload", 1000)], writer_node="n0"))
+        block = fs.locate("/f")[0]
+        fs.datanodes[block.replicas[0]].fail()
+        payload = run(env, fs.read_block(block, at_node="n0"))
+        assert payload == "payload"
+
+    def test_read_fails_when_all_replicas_down(self, env, fs):
+        run(env, fs.write("/f", [("x", 100)]))
+        block = fs.locate("/f")[0]
+        for node in block.replicas:
+            fs.datanodes[node].fail()
+        with pytest.raises(ConfigError, match="no live replica"):
+            run(env, fs.read_block(block, at_node="n0"))
+
+    def test_recovered_node_serves_again(self, env, fs):
+        run(env, fs.write("/f", [("x", 100)], writer_node="n0"))
+        block = fs.locate("/f")[0]
+        primary = block.replicas[0]
+        fs.datanodes[primary].fail()
+        fs.datanodes[primary].recover()
+        payload = run(env, fs.read_block(block, at_node=primary))
+        assert payload == "x"
+
+    def test_failover_costs_network_time(self, env, fs):
+        run(env, fs.write("/f", [("x", 100_000_000)], writer_node="n0"))
+        block = fs.locate("/f")[0]
+        local = block.replicas[0]
+
+        t0 = env.now
+        run(env, fs.read_block(block, at_node=local))
+        local_time = env.now - t0
+
+        fs.datanodes[local].fail()
+        t0 = env.now
+        run(env, fs.read_block(block, at_node=local))
+        failover_time = env.now - t0
+        # The surviving replica is remote: disk + wire instead of just disk.
+        assert failover_time > local_time
+
+    def test_job_level_failover(self, env, fs):
+        """A Flink job reading HDFS keeps working after a datanode dies."""
+        from repro.flink import Cluster, ClusterConfig, CPUSpec, FlinkSession
+        cluster = Cluster(ClusterConfig(n_workers=3, cpu=CPUSpec(cores=2)))
+        cluster.load_hdfs_file("/data", [(list(range(50)), 400),
+                                         (list(range(50, 100)), 400)])
+        # Kill one datanode (its replicas fail over to the others).
+        first = cluster.hdfs.locate("/data")[0]
+        cluster.hdfs.datanodes[first.replicas[0]].fail()
+        session = FlinkSession(cluster)
+        result = session.read_hdfs("/data", element_nbytes=8).collect()
+        assert sorted(result.value) == list(range(100))

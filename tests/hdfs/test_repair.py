@@ -1,0 +1,80 @@
+"""Tests for namenode re-replication after datanode loss."""
+
+import pytest
+
+from repro.common import Environment
+from repro.common.network import Network, NetworkConfig
+from repro.hdfs import HDFS, DiskConfig
+
+NODES = ["n0", "n1", "n2", "n3"]
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def fs(env):
+    net = Network(env, NODES, NetworkConfig(latency_s=0.0))
+    return HDFS(env, NODES, net, replication=2,
+                disk=DiskConfig(read_bps=100e6, write_bps=100e6, seek_s=0.0))
+
+
+def run(env, gen):
+    return env.run(until=env.process(gen))
+
+
+class TestRepair:
+    def test_repair_restores_replication_factor(self, env, fs):
+        run(env, fs.write("/f", [("a", 1000), ("b", 1000), ("c", 1000)],
+                          writer_node="n0"))
+        victim = fs.locate("/f")[0].replicas[0]
+        fs.datanodes[victim].fail()
+        affected = sum(1 for b in fs.locate("/f") if victim in b.replicas)
+        repaired = run(env, fs.repair(victim))
+        assert repaired == affected
+        for block in fs.locate("/f"):
+            assert victim not in block.replicas
+            assert len(block.replicas) == 2
+            for node in block.replicas:
+                assert fs.datanodes[node].alive
+                assert fs.datanodes[node].has_block(block.block_id)
+
+    def test_repair_costs_time_and_io(self, env, fs):
+        run(env, fs.write("/f", [("x", 100_000_000)], writer_node="n0"))
+        victim = fs.locate("/f")[0].replicas[0]
+        fs.datanodes[victim].fail()
+        t0, read0 = env.now, fs.total_bytes_read()
+        run(env, fs.repair(victim))
+        assert env.now - t0 >= 100_000_000 / 100e6  # at least one disk read
+        assert fs.total_bytes_read() - read0 == 100_000_000
+
+    def test_repair_skips_unaffected_blocks(self, env, fs):
+        run(env, fs.write("/f", [("x", 100)], writer_node="n0"))
+        block = fs.locate("/f")[0]
+        outsider = next(n for n in NODES if n not in block.replicas)
+        fs.datanodes[outsider].fail()
+        assert run(env, fs.repair(outsider)) == 0
+
+    def test_unrecoverable_block_left_alone(self, env):
+        net = Network(env, NODES[:2], NetworkConfig(latency_s=0.0))
+        fs = HDFS(env, NODES[:2], net, replication=2,
+                  disk=DiskConfig(seek_s=0.0))
+        run(env, fs.write("/f", [("x", 100)]))
+        block = fs.locate("/f")[0]
+        for node in block.replicas:
+            fs.datanodes[node].fail()
+        # Both replicas gone: nothing to copy from.
+        assert run(env, fs.repair(block.replicas[0])) == 0
+
+    def test_reads_work_after_repair_even_without_original(self, env, fs):
+        run(env, fs.write("/f", [("payload", 1000)], writer_node="n0"))
+        block = fs.locate("/f")[0]
+        first, second = block.replicas
+        fs.datanodes[first].fail()
+        run(env, fs.repair(first))
+        # Now the OTHER original replica dies too; the repaired copy serves.
+        fs.datanodes[second].fail()
+        payload = run(env, fs.read_block(block, at_node="n0"))
+        assert payload == "payload"

@@ -1,0 +1,74 @@
+"""Tests for credit-based backpressure (bounded inter-stage buffers)."""
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core import GFlinkCluster
+from repro.flink import ClusterConfig, CPUSpec
+from repro.streaming import ProcessingMode, StreamEnvironment
+
+
+def make_env(buffer_capacity=None):
+    cluster = GFlinkCluster(ClusterConfig(n_workers=1,
+                                          cpu=CPUSpec(cores=2)))
+    return StreamEnvironment(cluster, buffer_capacity=buffer_capacity)
+
+
+SLOW_MAP_S = 5e-3  # much slower than the 1 ms inter-event spacing
+
+
+class TestBackpressure:
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigError):
+            make_env(buffer_capacity=0)
+
+    def test_slow_operator_throttles_source(self):
+        # Source at 1000/s feeds a map that takes 5 ms/record: the pipeline
+        # can only sustain 200/s.  With a bounded buffer the source is
+        # throttled; the job's makespan stretches to the operator's pace.
+        env = make_env(buffer_capacity=4)
+        result = env.from_rate(rate=1000.0, n_events=200) \
+            .map(lambda v: v, element_overhead_s=SLOW_MAP_S) \
+            .execute()
+        assert result.events_processed == 200
+        # Wall time governed by the slow stage: ~200 * 5 ms = 1 s, not the
+        # source's nominal 0.2 s.
+        assert result.makespan == pytest.approx(1.0, rel=0.2)
+
+    def test_bounded_buffer_limits_in_flight_latency(self):
+        # With unbounded buffers the queue in front of the slow operator
+        # grows without limit and late records wait for everything queued
+        # before them; a small buffer caps per-record queueing delay.
+        def p99(capacity):
+            env = make_env(buffer_capacity=capacity)
+            result = env.from_rate(rate=1000.0, n_events=200) \
+                .map(lambda v: v, element_overhead_s=SLOW_MAP_S) \
+                .execute()
+            return result.p99_record_latency
+
+        unbounded = p99(None)
+        bounded = p99(2)
+        assert bounded < unbounded / 5
+        # Bounded: a record waits at most ~capacity slow-services.
+        assert bounded < 10 * SLOW_MAP_S
+
+    def test_fast_pipeline_unaffected_by_bound(self):
+        def run(capacity):
+            env = make_env(buffer_capacity=capacity)
+            return env.from_rate(rate=500.0, n_events=100) \
+                .map(lambda v: v + 1).execute()
+
+        free = run(None)
+        tight = run(2)
+        assert sorted(v for *_, v in free.results) \
+            == sorted(v for *_, v in tight.results)
+        assert tight.makespan == pytest.approx(free.makespan, rel=0.05)
+
+    def test_backpressure_with_windows(self):
+        from repro.streaming import WindowSpec
+        env = make_env(buffer_capacity=4)
+        result = env.from_rate(rate=500.0, n_events=100) \
+            .key_by(lambda v: 0) \
+            .window(WindowSpec.tumbling(0.05)) \
+            .aggregate(lambda key, values: len(values))
+        assert sum(v for *_, v in result.results) == 100

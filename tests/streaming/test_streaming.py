@@ -1,0 +1,165 @@
+"""Tests for the streaming engine: windows, modes, GPU aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.core import GFlinkCluster, GFlinkSession
+from repro.flink import ClusterConfig, CPUSpec
+from repro.gpu import KernelSpec
+from repro.streaming import (
+    DataStream,
+    ProcessingMode,
+    StreamEnvironment,
+    WindowSpec,
+)
+
+
+def make_cluster(gpus=()):
+    return GFlinkCluster(ClusterConfig(
+        n_workers=2, cpu=CPUSpec(cores=2), gpus_per_worker=tuple(gpus)))
+
+
+class TestWindowSpec:
+    def test_tumbling(self):
+        spec = WindowSpec.tumbling(5.0)
+        assert spec.size_s == spec.slide_s == 5.0
+
+    def test_sliding_validation(self):
+        with pytest.raises(ConfigError):
+            WindowSpec.sliding(2.0, 3.0)  # gaps
+        with pytest.raises(ConfigError):
+            WindowSpec.tumbling(0.0)
+
+
+class TestEventLevelPipeline:
+    def test_map_filter_results(self):
+        env = StreamEnvironment(make_cluster())
+        result = env.from_rate(rate=100.0, n_events=50) \
+            .map(lambda v: v * 2) \
+            .filter(lambda v: v % 4 == 0) \
+            .execute()
+        values = sorted(v for _, _, v in result.results)
+        assert values == [v * 2 for v in range(50) if (v * 2) % 4 == 0]
+        assert result.events_processed == 50
+
+    def test_event_level_latency_is_small(self):
+        env = StreamEnvironment(make_cluster(),
+                                mode=ProcessingMode.EVENT_LEVEL)
+        result = env.from_rate(rate=1000.0, n_events=200) \
+            .map(lambda v: v).execute()
+        # Each record flows immediately: latency ~ per-event cost + hop.
+        assert result.mean_record_latency < 1e-3
+
+    def test_throughput_close_to_source_rate(self):
+        env = StreamEnvironment(make_cluster())
+        result = env.from_rate(rate=500.0, n_events=250) \
+            .map(lambda v: v).execute()
+        assert result.throughput == pytest.approx(500.0, rel=0.05)
+
+
+class TestMiniBatchMode:
+    def test_results_identical_latency_higher(self):
+        def run(mode):
+            env = StreamEnvironment(make_cluster(), mode=mode,
+                                    batch_interval_s=0.5)
+            return env.from_rate(rate=200.0, n_events=100) \
+                .map(lambda v: v + 1).execute()
+
+        event = run(ProcessingMode.EVENT_LEVEL)
+        batch = run(ProcessingMode.MINI_BATCH)
+        assert sorted(v for *_, v in event.results) \
+            == sorted(v for *_, v in batch.results)
+        # Mini-batch buffers to the boundary: ~interval/2 extra latency.
+        assert batch.mean_record_latency > 50 * event.mean_record_latency
+        assert batch.mean_record_latency == pytest.approx(0.25, rel=0.5)
+
+
+class TestWindows:
+    def test_tumbling_window_counts(self):
+        env = StreamEnvironment(make_cluster())
+        # 100 events at 100/s -> 1 second of stream; 0.2 s windows x 5.
+        result = env.from_rate(rate=100.0, n_events=100) \
+            .key_by(lambda v: 0) \
+            .window(WindowSpec.tumbling(0.2)) \
+            .aggregate(lambda key, values: len(values))
+        counts = [v for _, _, v in sorted(result.results)]
+        assert sum(counts) == 100
+        # Interior windows hold size * rate events each (the first window
+        # misses the event that would land exactly on t=0, and the last
+        # holds the single boundary event).
+        assert all(c == 20 for c in counts[1:-1])
+        assert counts[0] == 19
+
+    def test_keyed_windows_separate(self):
+        env = StreamEnvironment(make_cluster())
+        result = env.from_rate(rate=100.0, n_events=100,
+                               value_fn=lambda i: i % 2) \
+            .key_by(lambda v: v) \
+            .window(WindowSpec.tumbling(0.5)) \
+            .aggregate(lambda key, values: (key, len(values)))
+        by_key = {}
+        for _, _, (key, count) in result.results:
+            by_key[key] = by_key.get(key, 0) + count
+        assert by_key == {0: 50, 1: 50}
+
+    def test_sliding_window_overlap(self):
+        env = StreamEnvironment(make_cluster())
+        result = env.from_rate(rate=100.0, n_events=100) \
+            .key_by(lambda v: 0) \
+            .window(WindowSpec.sliding(0.4, 0.2)) \
+            .aggregate(lambda key, values: len(values))
+        # Each event lands in 2 panes: total pane membership is ~2x events.
+        assert sum(v for _, _, v in result.results) \
+            == pytest.approx(200, abs=45)
+
+    def test_window_sum_correct(self):
+        env = StreamEnvironment(make_cluster())
+        result = env.from_rate(rate=1000.0, n_events=1000) \
+            .key_by(lambda v: 0) \
+            .window(WindowSpec.tumbling(10.0)) \
+            .aggregate(lambda key, values: sum(values))
+        total = sum(v for _, _, v in result.results)
+        assert total == sum(range(1000))
+
+
+class TestGpuWindows:
+    def test_gpu_aggregate_matches_cpu(self):
+        cluster = make_cluster(gpus=("c2050",))
+        GFlinkSession(cluster)  # registers nothing; registry lives on cluster
+        cluster.registry.register(KernelSpec(
+            "window_sum",
+            lambda i, p: {"out": np.array([float(np.sum(i["in"]))])},
+            flops_per_element=1.0, efficiency=0.4))
+
+        env = StreamEnvironment(cluster)
+        gpu = env.from_rate(rate=500.0, n_events=500) \
+            .key_by(lambda v: 0) \
+            .window(WindowSpec.tumbling(0.25)) \
+            .gpu_aggregate("window_sum")
+
+        env2 = StreamEnvironment(make_cluster())
+        cpu = env2.from_rate(rate=500.0, n_events=500) \
+            .key_by(lambda v: 0) \
+            .window(WindowSpec.tumbling(0.25)) \
+            .aggregate(lambda key, values: float(sum(values)))
+
+        assert sorted(v for *_, v in gpu.results) \
+            == pytest.approx(sorted(v for *_, v in cpu.results))
+
+    def test_gpu_aggregate_needs_gpu_worker(self):
+        env = StreamEnvironment(make_cluster(gpus=()))
+        with pytest.raises(ConfigError, match="GPUManager"):
+            env.from_rate(rate=100.0, n_events=50) \
+                .key_by(lambda v: 0) \
+                .window(WindowSpec.tumbling(0.2)) \
+                .gpu_aggregate("whatever")
+
+    def test_window_latency_recorded(self):
+        env = StreamEnvironment(make_cluster())
+        result = env.from_rate(rate=100.0, n_events=60) \
+            .key_by(lambda v: 0) \
+            .window(WindowSpec.tumbling(0.2)) \
+            .aggregate(lambda key, values: len(values))
+        assert result.window_latencies
+        assert all(l >= 0 for l in result.window_latencies)

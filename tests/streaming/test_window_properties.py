@@ -1,0 +1,64 @@
+"""Property tests for event-time window assignment and batching invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.streaming.engine import assign_windows
+
+
+def make_assign(size_s, slide_s):
+    """The engine's own window-assignment rule."""
+    return lambda ts: assign_windows(ts, size_s, slide_s)
+
+
+class TestWindowAssignmentProperties:
+    @given(st.floats(min_value=0.001, max_value=1e4),
+           st.integers(min_value=1, max_value=8),
+           st.integers(min_value=1, max_value=20))
+    @settings(max_examples=200, deadline=None)
+    def test_every_event_in_size_over_slide_windows(self, ts, overlap,
+                                                    slide_ticks):
+        slide = slide_ticks * 0.05
+        size = overlap * slide
+        starts = make_assign(size, slide)(ts)
+        tol = 1e-8 * max(slide, 1.0)  # the engine's boundary tie-break
+        # Each timestamp belongs to exactly size/slide panes...
+        assert len(starts) == overlap
+        # ...each of which contains it (up to the deterministic epsilon).
+        for start in starts:
+            assert start <= ts + tol
+            assert ts < start + size + tol
+        # Starts are aligned to the slide.
+        for start in starts:
+            ratio = start / slide
+            assert abs(ratio - round(ratio)) < 1e-6
+
+    @given(st.floats(min_value=0.0, max_value=100.0))
+    @settings(max_examples=100, deadline=None)
+    def test_tumbling_windows_partition_time(self, ts):
+        assign = make_assign(0.5, 0.5)
+        starts = assign(ts)
+        assert len(starts) == 1
+        (start,) = starts
+        tol = 1e-8
+        assert start <= ts + tol
+        assert ts < start + 0.5 + tol
+
+
+class TestEndToEndStreamInvariants:
+    @given(st.integers(min_value=10, max_value=120),
+           st.sampled_from([50.0, 200.0]),
+           st.sampled_from([0.1, 0.25]))
+    @settings(max_examples=10, deadline=None)
+    def test_no_event_lost_or_duplicated(self, n_events, rate, window_size):
+        from repro.core import GFlinkCluster
+        from repro.flink import ClusterConfig, CPUSpec
+        from repro.streaming import StreamEnvironment, WindowSpec
+
+        cluster = GFlinkCluster(ClusterConfig(n_workers=2,
+                                              cpu=CPUSpec(cores=2)))
+        env = StreamEnvironment(cluster)
+        result = env.from_rate(rate=rate, n_events=n_events) \
+            .key_by(lambda v: int(v) % 3) \
+            .window(WindowSpec.tumbling(window_size)) \
+            .aggregate(lambda key, values: len(values))
+        assert sum(v for *_, v in result.results) == n_events

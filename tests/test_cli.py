@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main, WORKLOADS
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestCli:
+    def test_list(self):
+        code, text = run_cli(["list"])
+        assert code == 0
+        for name in WORKLOADS:
+            assert name in text
+
+    def test_specs(self):
+        code, text = run_cli(["specs"])
+        assert code == 0
+        for gpu in ("c2050", "gtx750", "k20", "p100"):
+            assert gpu in text
+
+    def test_run_single_mode(self):
+        code, text = run_cli(["run", "pointadd", "--mode", "gpu",
+                              "--workers", "2", "--real", "2000",
+                              "--nominal", "1e5", "--iterations", "2"])
+        assert code == 0
+        assert "gpu total" in text
+        assert "speedup" not in text
+
+    def test_run_both_modes_reports_speedup(self):
+        code, text = run_cli(["run", "kmeans", "--workers", "2",
+                              "--real", "2000", "--nominal", "1e6",
+                              "--iterations", "3"])
+        assert code == 0
+        assert "cpu total" in text and "gpu total" in text
+        assert "speedup:" in text
+
+    def test_run_graph_workload_uses_pages(self):
+        code, text = run_cli(["run", "pagerank", "--mode", "cpu",
+                              "--workers", "2", "--real", "300",
+                              "--nominal", "1e5", "--iterations", "2"])
+        assert code == 0
+        assert "cpu total" in text
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli(["run", "sorting"])
+
+    def test_custom_gpu_spec(self):
+        code, text = run_cli(["run", "pointadd", "--mode", "gpu",
+                              "--workers", "1", "--gpus", "p100",
+                              "--real", "1000", "--nominal", "1e4",
+                              "--iterations", "1"])
+        assert code == 0
+        assert "p100" in text

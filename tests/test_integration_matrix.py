@@ -1,0 +1,79 @@
+"""The full workload matrix: every benchmark, both engines, one cluster.
+
+A single cross-cutting integration test: all seven workloads run CPU and
+GPU on a shared heterogeneous cluster (sequentially, fresh sessions), and
+for each pair the functional results must agree and the GPU engine must not
+lose on any iterative workload.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import GFlinkCluster, GFlinkSession
+from repro.flink import ClusterConfig, CPUSpec
+from repro.workloads import (
+    ConnectedComponentsWorkload,
+    KMeansWorkload,
+    LinearRegressionWorkload,
+    PageRankWorkload,
+    PointAddWorkload,
+    SpMVWorkload,
+    WordCountWorkload,
+)
+
+CASES = [
+    ("kmeans", lambda: KMeansWorkload(
+        nominal_elements=5e6, real_elements=4000, iterations=4), True),
+    ("linreg", lambda: LinearRegressionWorkload(
+        nominal_elements=5e6, real_elements=4000, iterations=4,
+        learning_rate=0.1), True),
+    ("spmv", lambda: SpMVWorkload(
+        nominal_elements=4000, real_elements=4000, iterations=4), True),
+    ("pagerank", lambda: PageRankWorkload(
+        nominal_pages=1e5, real_pages=500, iterations=4), True),
+    ("concomp", lambda: ConnectedComponentsWorkload(
+        nominal_pages=1e5, real_pages=400, iterations=6), True),
+    ("wordcount", lambda: WordCountWorkload(
+        nominal_elements=1e6, real_elements=8000), False),
+    ("pointadd", lambda: PointAddWorkload(
+        nominal_elements=1e5, real_elements=2000, iterations=3), False),
+]
+
+
+@pytest.mark.parametrize("name,factory,check_value",
+                         CASES, ids=[c[0] for c in CASES])
+def test_matrix_cpu_gpu_agree(name, factory, check_value):
+    config = ClusterConfig(n_workers=2, cpu=CPUSpec(cores=2),
+                           gpus_per_worker=("c2050", "k20"))
+    results = {}
+    for mode in ("cpu", "gpu"):
+        cluster = GFlinkCluster(config)
+        results[mode] = factory().run(GFlinkSession(cluster), mode)
+
+    cpu, gpu = results["cpu"], results["gpu"]
+    assert cpu.iterations == gpu.iterations
+    if check_value:
+        cpu_v = np.sort(np.asarray(cpu.value, dtype=float), axis=0)
+        gpu_v = np.sort(np.asarray(gpu.value, dtype=float), axis=0)
+        assert np.allclose(cpu_v, gpu_v, atol=1e-4), \
+            f"{name}: engines disagree"
+    # GPU never loses on the iterative, compute-carrying workloads.
+    if name in ("kmeans", "linreg", "spmv", "concomp", "pagerank"):
+        assert gpu.total_seconds < cpu.total_seconds
+
+
+def test_matrix_on_one_shared_cluster():
+    """All workloads back to back on ONE cluster: no state leaks between
+    applications (registry, HDFS namespace, GPU caches, memory)."""
+    config = ClusterConfig(n_workers=2, cpu=CPUSpec(cores=2),
+                           gpus_per_worker=("c2050",))
+    cluster = GFlinkCluster(config)
+    for name, factory, _ in CASES:
+        session = GFlinkSession(cluster)
+        result = factory().run(session, "gpu")
+        assert result.iterations >= 1, name
+        session.release_gpu_cache()
+    # After releasing every app's cache, device memory is fully reclaimed.
+    for gm in cluster.gpu_managers():
+        for device in gm.devices:
+            assert device.memory.allocated == 0

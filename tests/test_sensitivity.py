@@ -1,0 +1,68 @@
+"""Calibration sensitivity: the reproduction's *shapes* must not hinge on
+any single constant.
+
+EXPERIMENTS.md's qualitative claims (GPU wins on iterative workloads, the
+cache removes re-uploads, speedup grows with input) are supposed to emerge
+from the system's structure.  Here we perturb the main calibration constants
+by ±25% and assert the shapes survive — only the absolute factors may move.
+"""
+
+import pytest
+
+from repro.core import GFlinkCluster, GFlinkSession
+from repro.core.channels import CommCosts
+from repro.core.gpumanager import GPUManagerConfig
+from repro.flink import ClusterConfig, CPUSpec, FlinkConfig
+from repro.workloads import KMeansWorkload, SpMVWorkload
+
+
+def run_kmeans(serde_scale=1.0, overhead_scale=1.0, jni_scale=1.0,
+               sizes=(30e6, 90e6)):
+    flink = FlinkConfig(serde_bps=0.8e9 * serde_scale,
+                        element_overhead_s=120e-9 * overhead_scale)
+    config = ClusterConfig(n_workers=4, cpu=CPUSpec(),
+                           gpus_per_worker=("c2050", "c2050"), flink=flink)
+    gpu_config = GPUManagerConfig(
+        comm_costs=CommCosts(jni_call_s=0.155e-6 * jni_scale,
+                             serde_bps=0.8e9 * serde_scale))
+    speedups = []
+    for nominal in sizes:
+        times = {}
+        for mode in ("cpu", "gpu"):
+            cluster = GFlinkCluster(config, gpu_config=gpu_config)
+            wl = KMeansWorkload(nominal_elements=nominal,
+                                real_elements=6000, iterations=5)
+            times[mode] = wl.run(GFlinkSession(cluster), mode).total_seconds
+        speedups.append(times["cpu"] / times["gpu"])
+    return speedups
+
+
+class TestShapeRobustness:
+    @pytest.mark.parametrize("serde_scale,overhead_scale,jni_scale", [
+        (1.0, 1.0, 1.0),
+        (0.75, 1.0, 1.0),
+        (1.25, 1.0, 1.0),
+        (1.0, 0.75, 1.0),
+        (1.0, 1.25, 1.0),
+        (1.0, 1.0, 4.0),   # even a 4x JNI cost barely matters
+    ])
+    def test_kmeans_shape_survives_perturbation(self, serde_scale,
+                                                overhead_scale, jni_scale):
+        small, large = run_kmeans(serde_scale, overhead_scale, jni_scale)
+        # GPU wins at every size and the win grows with input size.
+        assert small > 1.5
+        assert large > small
+
+    def test_cache_benefit_survives_slow_pcie(self):
+        # Halve PCIe bandwidth via a custom spec? The spec is frozen; the
+        # equivalent stress is quadrupling the data per GPU: the cache's
+        # *relative* benefit should only grow.
+        def pcie_heavy(cache):
+            cluster = GFlinkCluster(ClusterConfig(
+                n_workers=1, cpu=CPUSpec(),
+                gpus_per_worker=("c2050",)))
+            wl = SpMVWorkload(nominal_elements=5e6, real_elements=5000,
+                              iterations=5, gpu_cache=cache)
+            return wl.run(GFlinkSession(cluster), "gpu").total_seconds
+
+        assert pcie_heavy(True) < pcie_heavy(False)

@@ -1,0 +1,32 @@
+"""Shared fixtures: a small CPU-GPU cluster for workload tests."""
+
+import pytest
+
+from repro.core import GFlinkCluster, GFlinkSession
+from repro.flink import ClusterConfig, CPUSpec
+
+
+def small_cluster(n_workers=2, cores=2, gpus=("c2050",)):
+    return GFlinkCluster(ClusterConfig(
+        n_workers=n_workers, cpu=CPUSpec(cores=cores),
+        gpus_per_worker=tuple(gpus)))
+
+
+def run_both(workload_factory):
+    """Run a workload in both modes on fresh clusters; return results."""
+    results = {}
+    for mode in ("cpu", "gpu"):
+        cluster = small_cluster()
+        session = GFlinkSession(cluster)
+        results[mode] = workload_factory().run(session, mode)
+    return results
+
+
+@pytest.fixture
+def cluster():
+    return small_cluster()
+
+
+@pytest.fixture
+def session(cluster):
+    return GFlinkSession(cluster)

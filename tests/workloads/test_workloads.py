@@ -1,0 +1,252 @@
+"""Correctness tests: every workload computes the right answer in both modes."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    ConnectedComponentsWorkload,
+    KMeansWorkload,
+    LinearRegressionWorkload,
+    PageRankWorkload,
+    PointAddWorkload,
+    SpMVWorkload,
+    WordCountWorkload,
+    table1_sizes,
+)
+from repro.workloads.pagerank import DAMPING
+from tests.workloads.conftest import run_both
+
+
+class TestGenerators:
+    def test_table1_catalog_complete(self):
+        for name in ("kmeans", "pagerank", "wordcount",
+                     "connected_components", "linear_regression", "spmv"):
+            sizes = table1_sizes(name)
+            assert len(sizes) == 5
+            nominals = [s.nominal_elements for s in sizes]
+            assert nominals == sorted(nominals)
+
+    def test_kmeans_table1_matches_paper(self):
+        labels = [s.label for s in table1_sizes("kmeans")]
+        assert labels == ["150M points", "180M points", "210M points",
+                          "240M points", "270M points"]
+
+    def test_unknown_benchmark(self):
+        from repro.common.errors import ConfigError
+        with pytest.raises(ConfigError):
+            table1_sizes("sorting")
+
+
+class TestKMeans:
+    def test_cpu_gpu_equivalent_centers(self):
+        results = run_both(lambda: KMeansWorkload(
+            nominal_elements=1e6, real_elements=4000, iterations=6))
+        cpu = np.sort(np.asarray(results["cpu"].value, float), axis=0)
+        gpu = np.sort(np.asarray(results["gpu"].value, float), axis=0)
+        assert np.allclose(cpu, gpu, atol=1e-3)
+
+    def test_recovers_true_centers(self):
+        results = run_both(lambda: KMeansWorkload(
+            nominal_elements=1e6, real_elements=6000, iterations=8))
+        wl = KMeansWorkload(nominal_elements=1e6, real_elements=6000)
+        found = np.asarray(results["cpu"].value, float)
+        # Every true center has a found center nearby.
+        for true in wl.true_centers:
+            d = np.linalg.norm(found - true, axis=1).min()
+            assert d < 1.5
+
+    def test_iteration_profile_first_and_last_slow(self):
+        results = run_both(lambda: KMeansWorkload(
+            nominal_elements=50e6, real_elements=4000, iterations=6))
+        for mode in ("cpu", "gpu"):
+            times = results[mode].iteration_seconds
+            mids = times[1:-1]
+            assert times[0] > max(mids)   # HDFS read in iteration 1
+            assert times[-1] > max(mids)  # HDFS write in the last iteration
+
+    def test_output_written_to_hdfs(self, session):
+        wl = KMeansWorkload(nominal_elements=1e5, real_elements=2000,
+                            iterations=2)
+        wl.run(session, "cpu")
+        assert session.cluster.hdfs.exists(wl.output_path)
+
+
+class TestLinearRegression:
+    def test_cpu_gpu_equivalent_weights(self):
+        results = run_both(lambda: LinearRegressionWorkload(
+            nominal_elements=1e6, real_elements=4000, iterations=5,
+            learning_rate=0.1))
+        assert np.allclose(results["cpu"].value, results["gpu"].value,
+                           atol=1e-6)
+
+    def test_gradient_descent_reduces_error(self):
+        wl = LinearRegressionWorkload(nominal_elements=1e6,
+                                      real_elements=4000, iterations=12,
+                                      learning_rate=0.1)
+        results = run_both(lambda: LinearRegressionWorkload(
+            nominal_elements=1e6, real_elements=4000, iterations=12,
+            learning_rate=0.1))
+        err = np.linalg.norm(np.asarray(results["cpu"].value)
+                             - wl.true_weights)
+        assert err < np.linalg.norm(wl.true_weights)  # moved toward truth
+
+
+class TestSpMV:
+    def test_matches_dense_power_iteration(self):
+        from tests.workloads.conftest import small_cluster
+        from repro.core import GFlinkSession
+        cluster = small_cluster()
+        wl = SpMVWorkload(nominal_elements=2000, real_elements=2000,
+                          iterations=4)
+        result = wl.run(GFlinkSession(cluster), "cpu")
+        results = {"cpu": result}
+        # Rebuild the dense matrix from the blocks actually written to HDFS
+        # (the generator's stream depends on the chunk count).
+        rows = np.concatenate(
+            [b.payload for b in cluster.hdfs.locate(wl.path)])
+        n = len(rows)
+        dense = np.zeros((n, n))
+        for i, row in enumerate(rows):
+            for c, v in zip(row["cols"], row["vals"]):
+                dense[i, c] += v
+        x = np.full(n, 1.0 / n)
+        for _ in range(4):
+            y = dense @ x
+            x = y / max(np.linalg.norm(y), 1e-30)
+        got = np.asarray(results["cpu"].value, float)
+        assert np.allclose(got, x, atol=1e-4)
+
+    def test_cpu_gpu_equivalent(self):
+        results = run_both(lambda: SpMVWorkload(
+            nominal_elements=4000, real_elements=4000, iterations=3))
+        assert np.allclose(np.asarray(results["cpu"].value, float),
+                           np.asarray(results["gpu"].value, float),
+                           atol=1e-5)
+
+    def test_gpu_cache_accelerates_iterations(self):
+        results = run_both(lambda: SpMVWorkload(
+            nominal_elements=50e6, real_elements=8000, iterations=5))
+        times = results["gpu"].iteration_seconds
+        assert times[1] < times[0]  # matrix cached after iteration 1
+        assert times[2] == pytest.approx(times[1], rel=0.05)
+
+
+class TestPageRank:
+    def test_ranks_form_distribution(self):
+        results = run_both(lambda: PageRankWorkload(
+            nominal_pages=1e5, real_pages=500, iterations=5))
+        ranks = np.asarray(results["cpu"].value, float)
+        assert abs(ranks.sum() - 1.0) < 0.2  # damping + dangling tolerance
+        assert (ranks >= (1 - DAMPING) / len(ranks) - 1e-12).all()
+
+    def test_cpu_gpu_equivalent(self):
+        results = run_both(lambda: PageRankWorkload(
+            nominal_pages=1e5, real_pages=500, iterations=4))
+        assert np.allclose(np.asarray(results["cpu"].value, float),
+                           np.asarray(results["gpu"].value, float),
+                           atol=1e-8)
+
+    def test_popular_pages_rank_higher(self):
+        results = run_both(lambda: PageRankWorkload(
+            nominal_pages=1e5, real_pages=500, iterations=6))
+        ranks = np.asarray(results["cpu"].value, float)
+        # The generator's Zipf targets make low ids popular.
+        assert ranks[:10].mean() > ranks[250:].mean()
+
+
+class TestConnectedComponents:
+    def test_cpu_gpu_equivalent(self):
+        results = run_both(lambda: ConnectedComponentsWorkload(
+            nominal_pages=1e5, real_pages=400, iterations=8))
+        assert np.array_equal(np.asarray(results["cpu"].value),
+                              np.asarray(results["gpu"].value))
+
+    def test_labels_never_increase_and_converge(self):
+        from tests.workloads.conftest import small_cluster
+        from repro.core import GFlinkSession
+        wl = ConnectedComponentsWorkload(nominal_pages=1e5, real_pages=300,
+                                         iterations=15)
+        result = wl.run(GFlinkSession(small_cluster()), "cpu")
+        labels = np.asarray(result.value)
+        assert (labels <= np.arange(len(labels))).all()
+        assert wl.converged_at is not None
+
+    def test_labels_respect_edges(self):
+        from tests.workloads.conftest import small_cluster
+        from repro.core import GFlinkSession
+        cluster = small_cluster()
+        wl = ConnectedComponentsWorkload(nominal_pages=1e5, real_pages=300,
+                                         iterations=20)
+        result = wl.run(GFlinkSession(cluster), "cpu")
+        labels = np.asarray(result.value)
+        for block in cluster.hdfs.locate(wl.path):
+            edges = block.payload
+            assert (labels[edges["src"]] == labels[edges["dst"]]).all()
+
+
+class TestWordCount:
+    def test_counts_exact_in_both_modes(self):
+        from tests.workloads.conftest import small_cluster
+        from repro.core import GFlinkSession
+        counts = {}
+        truth = None
+        for mode in ("cpu", "gpu"):
+            cluster = small_cluster()
+            wl = WordCountWorkload(nominal_elements=1e4, real_elements=5000)
+            session = GFlinkSession(cluster)
+            wl.run(session, mode)
+            written = cluster.hdfs.locate(wl.output_path)
+            merged = {}
+            for block in written:
+                for word, count in block.payload:
+                    merged[word] = merged.get(word, 0) + count
+            counts[mode] = merged
+            if truth is None:
+                raw = np.concatenate(
+                    [b.payload for b in cluster.hdfs.locate(wl.path)])
+                ids, c = np.unique(raw, return_counts=True)
+                truth = dict(zip(ids.tolist(), c.tolist()))
+        assert counts["cpu"] == truth
+        assert counts["gpu"] == truth
+
+
+class TestPointAdd:
+    def test_iterated_addition(self):
+        results = run_both(lambda: PointAddWorkload(
+            nominal_elements=1e5, real_elements=2000, iterations=3))
+        for mode in ("cpu", "gpu"):
+            out = results[mode].value
+            assert out  # materialized count is positive
+        # Verify arithmetic directly on the written output.
+        from tests.workloads.conftest import small_cluster
+        from repro.core import GFlinkSession
+        cluster = small_cluster()
+        wl = PointAddWorkload(nominal_elements=1e5, real_elements=2000,
+                              iterations=3)
+        wl.run(GFlinkSession(cluster), "gpu")
+        inputs = np.concatenate(
+            [b.payload for b in cluster.hdfs.locate(wl.path)])
+        outputs = np.concatenate(
+            [np.asarray(b.payload) for b in cluster.hdfs.locate(wl.output_path)])
+        expect_ax = np.sort(inputs["ax"] + 3 * inputs["bx"])
+        assert np.allclose(np.sort(outputs["ax"]), expect_ax, atol=1e-4)
+
+
+class TestWorkloadFramework:
+    def test_invalid_mode_rejected(self, session):
+        from repro.common.errors import ConfigError
+        wl = KMeansWorkload(nominal_elements=1e5, real_elements=1000,
+                            iterations=1)
+        with pytest.raises(ConfigError):
+            wl.run(session, "tpu")
+
+    def test_prepare_idempotent(self, cluster, session):
+        wl = KMeansWorkload(nominal_elements=1e5, real_elements=1000,
+                            iterations=1)
+        wl.prepare(cluster)
+        wl.prepare(cluster)  # no "file exists" error
+        assert cluster.hdfs.exists(wl.path)
+
+    def test_tiny_nominal_clamped_to_real(self):
+        wl = KMeansWorkload(nominal_elements=10, real_elements=1000)
+        assert wl.scale == 1.0
