@@ -13,12 +13,36 @@ simulation.  Every bench
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core import GFlinkCluster, GFlinkSession
 from repro.flink import ClusterConfig, CPUSpec
 from repro.workloads.base import WorkloadResult
+
+#: Consolidated results of one benchmark run of this PR's suite: each bench
+#: records its workload's simulated seconds and speedup here, so CI (and a
+#: reviewer) reads one file instead of scraping pytest-benchmark JSON.
+BENCH_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR1.json"
+
+
+def record_bench(name: str, payload: dict) -> None:
+    """Merge one bench's summary into the consolidated results file.
+
+    Load-merge-write keeps entries from the other benches of the same run;
+    a fresh run simply overwrites stale entries name by name.
+    """
+    results: Dict[str, dict] = {}
+    if BENCH_RESULTS_PATH.exists():
+        try:
+            results = json.loads(BENCH_RESULTS_PATH.read_text())
+        except (json.JSONDecodeError, OSError):
+            results = {}
+    results[name] = payload
+    BENCH_RESULTS_PATH.write_text(json.dumps(results, indent=2,
+                                             sort_keys=True) + "\n")
 
 #: The paper's testbed: 10 slaves, each an i5-4590 (4 cores @3.3 GHz) with
 #: two Tesla C2050 GPUs (§6.1, §6.5).
@@ -77,13 +101,15 @@ class FigureReport:
 
     def emit(self, benchmark=None) -> None:
         print(self.render())
+        table = [
+            {"label": r.label, "cpu_s": round(r.cpu_s, 3),
+             "gpu_s": round(r.gpu_s, 3),
+             "speedup": round(r.speedup, 3)}
+            for r in self.rows
+        ]
         if benchmark is not None:
-            benchmark.extra_info["table"] = [
-                {"label": r.label, "cpu_s": round(r.cpu_s, 3),
-                 "gpu_s": round(r.gpu_s, 3),
-                 "speedup": round(r.speedup, 3)}
-                for r in self.rows
-            ]
+            benchmark.extra_info["table"] = table
+        record_bench(self.title, {"rows": table})
 
 
 def run_workload(workload_factory: Callable[[], object], mode: str,

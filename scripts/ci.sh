@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI entry point: tier-1 tests plus a benchmark smoke run.
+#
+#   scripts/ci.sh          # tests + bench smoke (writes BENCH_PR1.json)
+#   scripts/ci.sh --fast   # tests only
+#
+# The bench smoke runs the suites this PR's feature work rides on (GPU
+# operator chaining, cache GC policies); the full paper-figure suite is
+# `python -m pytest benchmarks/`.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="${PYTHONPATH:+$PYTHONPATH:}src"
+
+echo "== tier-1: unit + integration tests =="
+python -m pytest -q
+
+if [[ "${1:-}" != "--fast" ]]; then
+    echo "== bench smoke: GPU chaining ablation + cache policies =="
+    python -m pytest -q \
+        benchmarks/bench_ablation_gpu_chaining.py \
+        benchmarks/bench_fig8_cache.py
+    echo "consolidated results written to BENCH_PR1.json"
+fi
+
+echo "CI OK"

@@ -49,9 +49,9 @@ from repro.core.gstruct import (
     Unsigned64,
 )
 from repro.core.hbuffer import HBuffer
-from repro.core.gwork import GWork
+from repro.core.gwork import GWork, KernelStage
 from repro.core.runtime import GFlinkCluster, GFlinkSession
-from repro.core.gdst import GDST
+from repro.core.gdst import GDST, FusedGpuOp
 from repro.core.costmodel import Calibration
 
 __all__ = [
@@ -68,8 +68,10 @@ __all__ = [
     "Unsigned64",
     "HBuffer",
     "GWork",
+    "KernelStage",
     "GFlinkCluster",
     "GFlinkSession",
     "GDST",
+    "FusedGpuOp",
     "Calibration",
 ]

@@ -15,7 +15,7 @@ compile-time and run-time of Flink".
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -23,11 +23,37 @@ from repro.common.errors import ConfigError, KernelError
 from repro.core.channels import CommMode
 from repro.core.gstruct import DataLayout
 from repro.flink.fault import TaskFailure
-from repro.core.gwork import GWork
+from repro.core.gwork import GWork, KernelStage
 from repro.core.hbuffer import HBuffer
 from repro.flink.dataset import DataSet, OpCost
 from repro.flink.partition import Partition, real_len
 from repro.flink.plan import Operator, ShipStrategy
+
+
+def _submit_gwork(op_name: str, ctx, gpumanager, work: GWork):
+    """Submit a GWork and unwrap the result (shared by all GPU operators).
+
+    Kernel errors are deterministic and not retryable; anything else is a
+    task failure the JobManager schedules around.  Per-kernel stage timings
+    recorded by the pipeline are folded into the job metrics.
+    """
+    try:
+        out_hbuf = yield gpumanager.submit(work)
+    except KernelError:
+        # Bad kernel name / wrong outputs: deterministic, not retryable.
+        raise
+    except Exception as exc:
+        # A failed GWork (device fault, transient kernel crash) is a
+        # task failure: the JobManager re-executes the subtask, which
+        # re-submits the work — Flink's schedule-around-failures story
+        # extended to the GPU path.
+        raise TaskFailure(op_name, ctx.subtask_index, attempt=-1,
+                          cause=repr(exc)) from exc
+    totals = getattr(ctx.metrics, "gpu_stage_seconds", None)
+    if totals is not None:
+        for kernel_name, seconds in work.stage_seconds.items():
+            totals[kernel_name] = totals.get(kernel_name, 0.0) + seconds
+    return out_hbuf
 
 
 class GpuMapPartitionOp(Operator):
@@ -81,19 +107,7 @@ class GpuMapPartitionOp(Operator):
                              element_nbytes=self.out_element_nbytes(part),
                              scale=part.scale, worker=ctx.worker.name)
         work = self._build_gwork(ctx, part)
-        try:
-            out_hbuf = yield gpumanager.submit(work)
-        except KernelError:
-            # Bad kernel name / wrong outputs: deterministic, not retryable.
-            raise
-        except Exception as exc:
-            # A failed GWork (device fault, transient kernel crash) is a
-            # task failure: the JobManager re-executes the subtask, which
-            # re-submits the work — Flink's schedule-around-failures story
-            # extended to the GPU path.
-            raise TaskFailure(self.name, ctx.subtask_index, attempt=-1,
-                              cause=repr(exc)) from exc
-        ctx.metrics.gpu_kernel_s = getattr(ctx.metrics, "gpu_kernel_s", 0.0)
+        out_hbuf = yield from _submit_gwork(self.name, ctx, gpumanager, work)
         out_elements = out_hbuf.elements
         out_real = real_len(out_elements)
         scale = self._output_scale(part, out_real)
@@ -160,6 +174,141 @@ class GpuMapPartitionOp(Operator):
         return 8.0
 
 
+class FusedGpuOp(Operator):
+    """A chain of element-wise GPU operators executing as ONE GWork.
+
+    The GPU analogue of :class:`repro.flink.optimizer.FusedMapOp`: the
+    subtask builds a single GWork whose :class:`~repro.core.gwork.KernelStage`
+    list holds every member's kernel.  The pipeline uploads the primary
+    input once, launches the stages back-to-back against device-resident
+    buffers and downloads only the final output — the intermediates never
+    cross PCIe.
+
+    Cache mapping: operator *i+1* asking to cache its input (``cache=True``)
+    becomes stage *i* caching its output, keyed by *i+1*'s
+    ``cache_key_base`` — so iterative jobs hit the same keys fused or not,
+    and a resumed chain skips the already-computed prefix.
+    """
+
+    def __init__(self, source: Operator, stages: List[GpuMapPartitionOp]):
+        name = "gpu-chain(" + "->".join(s.name for s in stages) + ")"
+        super().__init__(name, [source], None, [ShipStrategy.FORWARD],
+                         OpCost())
+        if len(stages) < 2:
+            raise ConfigError("a GPU chain needs at least two stages")
+        for op in stages:
+            if op.mapped_memory:
+                raise ConfigError(
+                    "mapped-memory GPU operators cannot be chained")
+        self.stages = list(stages)
+        first = self.stages[0]
+        self.app_id = first.app_id
+        self.comm_mode = first.comm_mode
+        self.layout = first.layout
+
+    def execute_subtask(self, ctx, inputs):
+        (part,) = inputs
+        gpumanager = ctx.worker.gpumanager
+        if gpumanager is None:
+            raise ConfigError(
+                f"worker {ctx.worker.name} has no GPUManager; use a "
+                f"GFlinkCluster with gpus_per_worker configured")
+        if part.real_count == 0:
+            return Partition(index=ctx.subtask_index, elements=[],
+                             element_nbytes=self.out_element_nbytes(part),
+                             scale=part.scale, worker=ctx.worker.name)
+        work = self._build_gwork(ctx, part)
+        out_hbuf = yield from _submit_gwork(self.name, ctx, gpumanager, work)
+        out_elements = out_hbuf.elements
+        out_real = real_len(out_elements)
+        scale = self._output_scale(part, out_real)
+        return Partition(index=ctx.subtask_index, elements=out_elements,
+                         element_nbytes=self.out_element_nbytes(part),
+                         scale=scale, worker=ctx.worker.name)
+
+    def _output_scale(self, part: Partition, out_real: int) -> float:
+        """Nominal scaling of the chain's final output.
+
+        The last stage's semantics decide, exactly as unfused — except that
+        an ``auto`` tail downstream of a flatmap-style stage must keep the
+        input's scale (the count change is explained upstream, not by a
+        reduce-style contraction)."""
+        last = self.stages[-1]
+        if last.scale_semantics in ("map", "flatmap"):
+            return part.scale
+        if last.scale_semantics == "reduce":
+            return 1.0
+        if any(s.scale_semantics == "flatmap" for s in self.stages[:-1]):
+            return part.scale
+        return part.scale if out_real == part.real_count else 1.0
+
+    def _build_gwork(self, ctx, part: Partition) -> GWork:
+        first = self.stages[0]
+        primary = HBuffer(part.elements, part.element_nbytes,
+                          scale=part.scale,
+                          off_heap=self.comm_mode is CommMode.GFLINK,
+                          pinned=self.comm_mode is CommMode.GFLINK,
+                          layout=self.layout)
+        in_buffers = {"in": primary}
+        kernel_stages: List[KernelStage] = []
+        per_elem = float(part.element_nbytes)
+        for i, op in enumerate(self.stages):
+            # Namespace each member's secondary operands so two stages may
+            # both have e.g. a "centers" input without colliding.
+            extra: Dict[str, str] = {}
+            for arg, operand in op.extra_inputs.items():
+                alias = f"s{i}:{arg}"
+                in_buffers[alias] = operand.to_hbuffer(self.comm_mode)
+                extra[arg] = alias
+            params = dict(op.params)
+            if op.params_fn is not None:
+                params.update(op.params_fn())
+            if op.out_elem_nbytes is not None:
+                per_elem = op.out_elem_nbytes
+            nxt = self.stages[i + 1] if i + 1 < len(self.stages) else None
+            kernel_stages.append(KernelStage(
+                execute_name=op.kernel_name,
+                params=params,
+                out_element_nbytes=per_elem,
+                block_size=op.cuda_block_size,
+                extra=extra,
+                # Operator i+1 caching its input == stage i caching its
+                # output, under i+1's (stable) cache_key_base.
+                cache_output=nxt is not None and nxt.cache,
+                cache_key=((nxt.cache_key_base, part.index)
+                           if nxt is not None and nxt.cache else None),
+            ))
+        cache = first.cache or any(s.cache_output for s in kernel_stages)
+        out_buffer = HBuffer(
+            [], per_elem, scale=part.scale,
+            off_heap=self.comm_mode is CommMode.GFLINK,
+            pinned=self.comm_mode is CommMode.GFLINK)
+        return GWork(
+            execute_name="+".join(op.kernel_name for op in self.stages),
+            ptx_path=f"/{self.stages[0].kernel_name}.ptx",
+            in_buffers=in_buffers,
+            out_buffer=out_buffer,
+            size=part.nominal_count,
+            block_size=first.cuda_block_size,
+            cache=cache,
+            cache_key=((first.cache_key_base, part.index) if cache
+                       else None),
+            app_id=self.app_id,
+            out_element_nbytes=per_elem,
+            comm_mode=self.comm_mode,
+            stages=kernel_stages,
+            primary_cached=first.cache,
+        )
+
+    def out_element_nbytes(self, input_partition) -> float:
+        per_elem = (float(input_partition.element_nbytes)
+                    if input_partition is not None else 8.0)
+        for op in self.stages:
+            if op.out_elem_nbytes is not None:
+                per_elem = op.out_elem_nbytes
+        return per_elem
+
+
 class GpuJoinOp(Operator):
     """GPU hash equi-join (§3.5.2's deferred "Join ... can also be
     implemented in GPUs").
@@ -217,13 +366,7 @@ class GpuJoinOp(Operator):
             params=dict(self.params), app_id=self.app_id,
             out_element_nbytes=self.out_elem_nbytes,
             comm_mode=self.comm_mode)
-        try:
-            out_hbuf = yield gpumanager.submit(work)
-        except KernelError:
-            raise
-        except Exception as exc:
-            raise TaskFailure(self.name, ctx.subtask_index, attempt=-1,
-                              cause=repr(exc)) from exc
+        out_hbuf = yield from _submit_gwork(self.name, ctx, gpumanager, work)
         out_elements = out_hbuf.elements
         # Join fan-out realized on the sample stands for the nominal one.
         scale = max(left.scale, right.scale)

@@ -15,6 +15,18 @@ collection.  Two GC policies are provided, exactly the paper's two schemes:
 * ``NO_EVICT`` — "when the cache region is fully utilized, no data can be
   cached", for working sets larger than the region (one iteration's data
   would otherwise evict itself before reuse).
+
+A third policy, ``LRU``, goes beyond the paper: hits refresh an entry's
+position in the list, so eviction removes the *least recently used* block —
+better than FIFO when a hot subset (e.g. a fused chain's cached stage
+outputs) is re-probed every iteration while cold blocks stream past.
+Select it with the ``cache_policy`` config flag
+(:class:`repro.core.gpumanager.GPUManagerConfig`).
+
+The region also serves as the *spill* target for chained-kernel
+intermediates: when a stage output of a fused GWork exceeds free device
+memory, it borrows room in the region (and is removed as soon as the next
+stage has consumed it) instead of failing the work.
 """
 
 from __future__ import annotations
@@ -31,10 +43,11 @@ from repro.gpu.memory import DeviceBuffer
 
 
 class EvictionPolicy(Enum):
-    """The two garbage-collection schemes of §4.2.2."""
+    """The two garbage-collection schemes of §4.2.2, plus LRU."""
 
     FIFO = "fifo"
     NO_EVICT = "no-evict"
+    LRU = "lru"
 
 
 @dataclass
@@ -70,6 +83,7 @@ class CacheRegion:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.spills = 0
 
     # -- lookup ----------------------------------------------------------------
     def lookup(self, key: Hashable) -> Optional[CacheEntry]:
@@ -79,7 +93,14 @@ class CacheRegion:
             self.misses += 1
         else:
             self.hits += 1
+            if self.policy is EvictionPolicy.LRU:
+                # Refresh recency: the list front stays the eviction victim.
+                self._entries.move_to_end(key)
         return entry
+
+    def entry(self, key: Hashable) -> Optional[CacheEntry]:
+        """Probe without touching statistics or recency (internal reuse)."""
+        return self._entries.get(key)
 
     def contains(self, key: Hashable) -> bool:
         """Probe without touching statistics (scheduling uses this)."""
@@ -118,6 +139,23 @@ class CacheRegion:
         self._entries[key] = entry
         self.used += nbytes
         return entry
+
+    # -- removal -------------------------------------------------------------------
+    def remove(self, key: Hashable) -> None:
+        """Drop an entry (spilled intermediates, invalidated blocks)."""
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return
+        self.used -= entry.nbytes
+        entry.buffer.data = None
+
+    def remove_spills(self, work_id: int) -> None:
+        """Sweep any spill entries a failed GWork left behind."""
+        stale = [k for k in self._entries
+                 if isinstance(k, tuple) and len(k) >= 2
+                 and k[0] == "spill" and k[1] == work_id]
+        for key in stale:
+            self.remove(key)
 
     def release(self) -> None:
         """Free the reservation (application finished)."""

@@ -34,10 +34,19 @@ class GPUManagerConfig:
 
     cache_bytes_per_device: int = 1 << 30     # per-app cache region capacity
     eviction_policy: EvictionPolicy = EvictionPolicy.FIFO
+    #: String form of the eviction policy ("fifo" | "no-evict" | "lru");
+    #: when set, overrides ``eviction_policy`` — the config-file-friendly
+    #: spelling of the same knob.
+    cache_policy: Optional[str] = None
     streams_per_gpu: int = 2
     block_nbytes: int = 8 * (1 << 20)         # pipeline block ("page") size
     comm_costs: CommCosts = CommCosts()
     locality_aware: bool = True               # Algorithm 5.1's GID step
+
+    def resolved_policy(self) -> EvictionPolicy:
+        if self.cache_policy is None:
+            return self.eviction_policy
+        return EvictionPolicy(self.cache_policy.lower())
 
 
 class GPUManager:
@@ -60,7 +69,7 @@ class GPUManager:
         self.gmm = GMemoryManager(
             self.devices,
             cache_capacity_per_device=self.config.cache_bytes_per_device,
-            policy=self.config.eviction_policy)
+            policy=self.config.resolved_policy())
         self.gstream_manager = GStreamManager(
             env, self.devices, self.wrapper, self.gmm,
             streams_per_gpu=self.config.streams_per_gpu,

@@ -27,17 +27,12 @@ from repro.common.resources import Store
 from repro.common.simclock import Environment, Event
 from repro.core.channels import CUDAWrapper
 from repro.core.gmemory import CacheRegion, GMemoryManager
-from repro.core.gwork import GWork
+from repro.core.gwork import GWork, KernelStage, PRIMARY, STAGE_OUT
 from repro.core.hbuffer import Block, HBuffer
-from repro.core.scheduling import schedule_work, steal_work
+from repro.core.scheduling import locality_keys, schedule_work, steal_work
 from repro.gpu.device import GPUDevice
 from repro.gpu.kernel import LaunchConfig
 from repro.gpu.memory import DeviceBuffer
-
-#: Primary input name: this buffer is blocked and pipelined; all other
-#: inputs ship whole before the pipeline starts (broadcast-style operands
-#: such as KMeans centers or the SpMV vector).
-PRIMARY = "in"
 
 #: Depth of the inter-stage queues: how many blocks may be in flight between
 #: two stages.  2 suffices for full overlap of a 3-stage linear pipeline.
@@ -80,6 +75,12 @@ class GStream:
         device = self.device
         region = (mgr.gmm.region(work.app_id, self.device_index)
                   if work.cache else None)
+        # Chained works may borrow an already-existing region to spill
+        # oversized intermediates even when they cache nothing themselves.
+        spill_region = region
+        if (spill_region is None and work.stages
+                and mgr.gmm.has_region(work.app_id, self.device_index)):
+            spill_region = mgr.gmm.region(work.app_id, self.device_index)
         live_before = {buf.buffer_id for buf in device.memory.live_buffers()}
         try:
             secondary = yield from self._stage_secondary_inputs(
@@ -89,7 +90,7 @@ class GStream:
                     work, device, secondary)
             else:
                 output_elements = yield from self._pipeline(
-                    work, device, region, secondary)
+                    work, device, region, spill_region, secondary)
         except Exception as exc:  # surface through the completion event
             # Reclaim this work's in-flight allocations (cache-region
             # buffers are unregistered views and survive): a retried work
@@ -97,6 +98,8 @@ class GStream:
             for buf in device.memory.live_buffers():
                 if buf.buffer_id not in live_before:
                     device.memory.free(buf)
+            if spill_region is not None:
+                spill_region.remove_spills(work.work_id)
             self._temp_secondary = []
             if work.completion is not None and not work.completion.triggered:
                 work.completion.fail(exc)
@@ -145,26 +148,44 @@ class GStream:
 
     def _pipeline(self, work: GWork, device: GPUDevice,
                   region: Optional[CacheRegion],
+                  spill_region: Optional[CacheRegion],
                   secondary: Dict[str, DeviceBuffer]
                   ) -> Generator[Event, None, object]:
         wrapper = self.manager.wrapper
         primary = work.in_buffers[PRIMARY]
+        stages = work.kernel_stages
         blocks = primary.split_blocks(self.manager.block_nbytes)
         to_kernel: Store = Store(self.env, capacity=PIPELINE_DEPTH)
         to_d2h: Store = Store(self.env, capacity=PIPELINE_DEPTH)
         results: Dict[int, object] = {}
+        primary_region = region if work.primary_cached else None
 
         def h2d_stage():
             for blk in blocks:
-                key = (work.cache_key, PRIMARY, blk.index)
-                dev_buf, temp = None, False
+                # A cached stage output lets the chain resume mid-way with
+                # no upload at all: prefer the deepest one available.
+                dev_buf, temp, resume = None, False, 0
                 if region is not None:
-                    entry = region.lookup(key)
+                    for idx in range(len(stages) - 1, -1, -1):
+                        st = stages[idx]
+                        if not st.cache_output or st.cache_key is None:
+                            continue
+                        entry = region.lookup(
+                            (st.cache_key, STAGE_OUT, blk.index))
+                        if (entry is not None
+                                and entry.buffer.data is not None):
+                            dev_buf, resume = entry.buffer, idx + 1
+                            break
+                if dev_buf is None and primary_region is not None:
+                    entry = primary_region.lookup(
+                        (work.cache_key, PRIMARY, blk.index))
                     if entry is not None and entry.buffer.data is not None:
                         dev_buf = entry.buffer
                 if dev_buf is None:
-                    entry = (region.try_insert(key, blk.nbytes)
-                             if region is not None else None)
+                    entry = (primary_region.try_insert(
+                                 (work.cache_key, PRIMARY, blk.index),
+                                 blk.nbytes)
+                             if primary_region is not None else None)
                     if entry is not None:
                         dev_buf = entry.buffer
                     else:
@@ -173,7 +194,7 @@ class GStream:
                         temp = True
                     yield from wrapper.transfer_h2d_inline(
                         device, dev_buf, blk, primary, work.comm_mode)
-                yield to_kernel.put((blk, dev_buf, temp))
+                yield to_kernel.put((blk, dev_buf, temp, resume))
             yield to_kernel.put(None)
 
         def kernel_stage():
@@ -182,39 +203,80 @@ class GStream:
                 if item is None:
                     yield to_d2h.put(None)
                     return
-                blk, dev_buf, temp = item
-                out_nbytes = int(blk.nominal_count
-                                 * self._out_nbytes_per_element(work, primary))
-                out_dev = yield from wrapper.cuda_malloc(
-                    device, max(out_nbytes, 8))
-                launch = LaunchConfig.for_elements(
-                    max(blk.nominal_count, 1), work.block_size)
-                kernel_result = yield from wrapper.launch_kernel_inline(
-                    device, work.execute_name, blk.nominal_count, launch,
-                    inputs={PRIMARY: dev_buf, **secondary},
-                    outputs={"out": out_dev}, params=work.params,
-                    layout=primary.layout)
-                if temp:
-                    yield from wrapper.cuda_free(device, dev_buf)
-                yield to_d2h.put((blk, out_dev, kernel_result))
+                blk, cur, cur_temp, resume = item
+                cur_spill = None
+                real = blk.real_count
+                nominal = blk.nominal_count
+                if resume:
+                    # Resuming from a cached intermediate: counts reflect
+                    # that stage's output, not the raw block.
+                    real = _result_len(cur.data)
+                    nominal = (blk.nominal_count * real / blk.real_count
+                               if blk.real_count else float(real))
+                d2h_nominal = nominal
+                out_per_elem = self._out_nbytes_per_element(work, primary)
+                for idx in range(resume, len(stages)):
+                    st = stages[idx]
+                    out_per_elem = (st.out_element_nbytes
+                                    if st.out_element_nbytes is not None
+                                    else self._out_nbytes_per_element(
+                                        work, primary))
+                    out_nbytes = int(max(nominal * out_per_elem, 8))
+                    out_dev, out_temp, out_spill = (
+                        yield from self._stage_out_buffer(
+                            work, device, region, spill_region, st, blk,
+                            idx, out_nbytes))
+                    launch = LaunchConfig.for_elements(
+                        max(nominal, 1), st.block_size)
+                    stage_inputs = {PRIMARY: cur}
+                    for arg, alias in st.extra.items():
+                        stage_inputs[arg] = secondary[alias]
+                    kernel_result = yield from wrapper.launch_kernel_inline(
+                        device, st.execute_name, nominal, launch,
+                        inputs=stage_inputs,
+                        outputs={"out": out_dev}, params=st.params,
+                        layout=primary.layout)
+                    spec = wrapper.runtime.registry.get(st.execute_name)
+                    work.stage_seconds[st.execute_name] = (
+                        work.stage_seconds.get(st.execute_name, 0.0)
+                        + spec.execution_seconds(nominal, launch, device.spec,
+                                                 layout=primary.layout))
+                    # Retire this stage's input: spilled intermediates give
+                    # their region room back, temporaries are freed, cached
+                    # buffers stay resident.
+                    if cur_spill is not None and spill_region is not None:
+                        spill_region.remove(cur_spill)
+                    elif cur_temp:
+                        yield from wrapper.cuda_free(device, cur)
+                    cur, cur_temp, cur_spill = out_dev, out_temp, out_spill
+                    out_real = _result_len(kernel_result.get("out"))
+                    if idx == len(stages) - 1:
+                        if out_real == real:
+                            d2h_nominal = nominal  # map-style kernel
+                        else:
+                            d2h_nominal = out_real  # reduce-style partials
+                    elif out_real != real:
+                        # Mid-chain fan-out/-in realized on the sample
+                        # stands for the nominal one (flatmap semantics).
+                        nominal = (nominal * out_real / real if real
+                                   else float(out_real))
+                    real = out_real
+                yield to_d2h.put((blk, cur, cur_temp, cur_spill,
+                                  d2h_nominal, out_per_elem))
 
         def d2h_stage():
             while True:
                 item = yield to_d2h.get()
                 if item is None:
                     return
-                blk, out_dev, kernel_result = item
-                out_real = _result_len(kernel_result.get("out"))
-                if out_real == blk.real_count:
-                    nominal_out = blk.nominal_count  # map-style kernel
-                else:
-                    nominal_out = out_real           # reduce-style partials
-                nbytes = int(max(
-                    nominal_out * self._out_nbytes_per_element(work, primary),
-                    1))
+                blk, out_dev, out_temp, out_spill, d2h_nominal, per_elem = item
+                nbytes = int(max(d2h_nominal * per_elem, 1))
                 data = yield from wrapper.transfer_d2h_inline(
                     device, work.out_buffer, out_dev, nbytes, work.comm_mode)
-                yield from wrapper.cuda_free(device, out_dev)
+                if out_spill is not None and spill_region is not None:
+                    spill_region.remove(out_spill)
+                elif out_temp:
+                    yield from wrapper.cuda_free(device, out_dev)
                 results[blk.index] = data
 
         def guarded(stage_fn):
@@ -227,14 +289,14 @@ class GStream:
                     pass
             return runner
 
-        stages = [self.env.process(guarded(h2d_stage)(), name="h2d-stage"),
-                  self.env.process(guarded(kernel_stage)(),
-                                   name="kernel-stage"),
-                  self.env.process(guarded(d2h_stage)(), name="d2h-stage")]
+        procs = [self.env.process(guarded(h2d_stage)(), name="h2d-stage"),
+                 self.env.process(guarded(kernel_stage)(),
+                                  name="kernel-stage"),
+                 self.env.process(guarded(d2h_stage)(), name="d2h-stage")]
         try:
-            yield self.env.all_of(stages)
+            yield self.env.all_of(procs)
         except Exception:
-            for proc in stages:
+            for proc in procs:
                 if proc.is_alive:
                     proc.interrupt("pipeline failed")
             raise
@@ -243,6 +305,38 @@ class GStream:
             yield from wrapper.cuda_free(device, buf)
         self._temp_secondary = []
         return _assemble(results)
+
+    def _stage_out_buffer(self, work: GWork, device: GPUDevice,
+                          region: Optional[CacheRegion],
+                          spill_region: Optional[CacheRegion],
+                          stage: KernelStage, blk: Block, stage_index: int,
+                          nbytes: int):
+        """Device room for one stage's output block.
+
+        Caching stages write straight into their cache-region entry (created
+        on first use, reused across iterations).  Everything else is a
+        ``cudaMalloc`` temporary — unless the device is out of memory, in
+        which case the block borrows room in the cache region ("spill") and
+        returns it as soon as the next stage has consumed the data.
+
+        Returns ``(buffer, is_temp, spill_key)``.
+        """
+        if (stage.cache_output and region is not None
+                and stage.cache_key is not None):
+            key = (stage.cache_key, STAGE_OUT, blk.index)
+            entry = region.entry(key)
+            if entry is None:
+                entry = region.try_insert(key, nbytes)
+            if entry is not None:
+                return entry.buffer, False, None
+        if nbytes > device.memory.available and spill_region is not None:
+            spill_key = ("spill", work.work_id, blk.index, stage_index)
+            entry = spill_region.try_insert(spill_key, nbytes)
+            if entry is not None:
+                spill_region.spills += 1
+                return entry.buffer, False, spill_key
+        buf = yield from self.manager.wrapper.cuda_malloc(device, nbytes)
+        return buf, True, None
 
     def _mapped_execute(self, work: GWork, device: GPUDevice,
                         secondary: Dict[str, DeviceBuffer]
@@ -387,17 +481,7 @@ class GStreamManager:
         return work.completion
 
     def _locality_keys(self, work: GWork) -> List[Hashable]:
-        if not work.cache:
-            return []
-        keys: List[Hashable] = []
-        for name, hbuf in work.in_buffers.items():
-            if name == PRIMARY:
-                blocks = hbuf.split_blocks(self.block_nbytes)
-                keys.extend((work.cache_key, PRIMARY, b.index)
-                            for b in blocks)
-            else:
-                keys.append((work.cache_key, name))
-        return keys
+        return locality_keys(work, self.block_nbytes)
 
     # -- consumer side --------------------------------------------------------------
     def mark_idle(self, stream: GStream) -> None:

@@ -5,20 +5,62 @@ plus the exported function name), launch geometry, cache flags — and submits
 it to the worker's GStreamManager.  "After submission, the input buffer and
 output buffer will be transformed to GPUs automatically ... After executions
 on GPUs, the results are pulled from GPUs to output buffer automatically."
+
+A GWork may carry a *chain* of kernel stages (GPU operator chaining): the
+pipeline uploads the primary input once, launches the stages back-to-back
+against device-resident intermediates, and downloads only the final output.
+A plain single-kernel GWork is the one-stage special case.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Dict, Hashable, Optional
+from typing import Any, Dict, Hashable, List, Optional
 
 from repro.common.errors import ConfigError
 from repro.common.simclock import Event
 from repro.core.channels import CommMode
 from repro.core.hbuffer import HBuffer
 
+#: Primary input name: this buffer is blocked and pipelined; all other
+#: inputs ship whole before the pipeline starts (broadcast-style operands
+#: such as KMeans centers or the SpMV vector).
+PRIMARY = "in"
+
+#: Cache-key tag for a chained stage's device-resident output block.
+#: Full keys are ``(stage.cache_key, STAGE_OUT, block index)``.
+STAGE_OUT = "stage-out"
+
 _gwork_ids = itertools.count()
+
+
+@dataclass
+class KernelStage:
+    """One kernel launch inside a (possibly fused) GWork.
+
+    ``extra`` maps the kernel's secondary argument names to keys of the
+    work's ``in_buffers`` — fused chains namespace their per-stage operands
+    (``"s2:centers"``) while each kernel still sees its own plain names.
+
+    ``cache_output`` keeps this stage's per-block output resident in the
+    application's cache region under ``(cache_key, STAGE_OUT, block)``, so
+    iterative jobs resume the chain mid-way on the next submission.
+    """
+
+    execute_name: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    out_element_nbytes: Optional[float] = None
+    block_size: int = 256
+    extra: Dict[str, str] = field(default_factory=dict)
+    cache_output: bool = False
+    cache_key: Optional[Hashable] = None
+
+    def __post_init__(self) -> None:
+        if self.cache_output and self.cache_key is None:
+            raise ConfigError(
+                f"stage {self.execute_name!r}: cache_output requires a "
+                f"cache_key")
 
 
 @dataclass
@@ -47,12 +89,20 @@ class GWork:
     #: When set, the kernel reads/writes the pinned host buffers directly
     #: over PCIe (zero copy): no explicit H2D/D2H, reads and writes overlap.
     mapped_memory: bool = False
+    #: GPU operator chaining: ordered kernel stages sharing device-resident
+    #: intermediates.  None means "one stage": execute_name/params as-is.
+    stages: Optional[List[KernelStage]] = None
+    #: Whether the primary input's blocks may use the cache region (a fused
+    #: chain caches stage outputs without necessarily caching its input).
+    primary_cached: bool = True
 
     # Runtime state (set by the GStreamManager).
     work_id: int = field(default_factory=lambda: next(_gwork_ids))
     comm_mode: CommMode = CommMode.GFLINK
     completion: Optional[Event] = None
     assigned_device: Optional[int] = None
+    #: Per-kernel execution seconds, filled by the pipeline as stages run.
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.size < 0:
@@ -61,11 +111,28 @@ class GWork:
             raise ConfigError("cache=True requires a cache_key")
         if not self.in_buffers:
             raise ConfigError("GWork needs at least one input buffer")
+        if self.stages is not None and not self.stages:
+            raise ConfigError("stages, when given, must be non-empty")
+        if self.stages and self.mapped_memory:
+            raise ConfigError(
+                "mapped-memory execution does not support kernel chaining")
 
     @property
     def input_nbytes(self) -> float:
         """Total nominal input bytes (drives locality decisions)."""
         return sum(h.nbytes for h in self.in_buffers.values())
+
+    @property
+    def kernel_stages(self) -> List[KernelStage]:
+        """The stage list; a plain GWork synthesizes its single stage."""
+        if self.stages is not None:
+            return list(self.stages)
+        extra = {name: name for name in self.in_buffers if name != PRIMARY}
+        return [KernelStage(execute_name=self.execute_name,
+                            params=dict(self.params),
+                            out_element_nbytes=self.out_element_nbytes,
+                            block_size=self.block_size,
+                            extra=extra)]
 
     def __repr__(self) -> str:  # pragma: no cover
         return (f"<GWork #{self.work_id} {self.execute_name} "

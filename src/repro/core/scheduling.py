@@ -13,6 +13,11 @@ isolation from the stream machinery:
   finished its work first drains its own GPU's queue; if that is empty it
   steals from the longest queue; if all queues are empty it returns None
   (the stream goes idle).
+
+:func:`locality_keys` feeds Algorithm 5.1: it enumerates every cache key a
+GWork could hit on a device — primary input blocks, whole secondary
+operands, and (for fused chains) per-block stage outputs — so iterative
+jobs land on the GPU already holding their chain intermediates.
 """
 
 from __future__ import annotations
@@ -20,7 +25,7 @@ from __future__ import annotations
 from typing import Deque, Hashable, List, Optional, Protocol, Sequence
 
 from repro.core.gmemory import GMemoryManager
-from repro.core.gwork import GWork
+from repro.core.gwork import GWork, PRIMARY, STAGE_OUT
 
 
 class StreamLike(Protocol):  # pragma: no cover - structural typing only
@@ -82,6 +87,34 @@ def schedule_work(work: GWork, gmm: GMemoryManager,
         return ScheduleDecision(None, gid, gid)
     shortest = min(range(len(queues)), key=lambda g: (len(queues[g]), g))
     return ScheduleDecision(None, shortest, None)
+
+
+def locality_keys(work: GWork, block_nbytes: int) -> List[Hashable]:
+    """All cache keys whose presence on a device makes it a locality GPU.
+
+    Covers the primary input's per-block keys, the whole-operand keys of
+    secondary inputs, and — for a chained GWork — the per-block stage-output
+    keys of every caching stage, so a resumable chain counts as locality
+    even when its raw input was never cached.
+    """
+    if not work.cache:
+        return []
+    keys: List[Hashable] = []
+    n_primary_blocks = 0
+    for name, hbuf in work.in_buffers.items():
+        if name == PRIMARY:
+            blocks = hbuf.split_blocks(block_nbytes)
+            n_primary_blocks = len(blocks)
+            if work.primary_cached:
+                keys.extend((work.cache_key, PRIMARY, b.index)
+                            for b in blocks)
+        else:
+            keys.append((work.cache_key, name))
+    for stage in work.kernel_stages:
+        if stage.cache_output and stage.cache_key is not None:
+            keys.extend((stage.cache_key, STAGE_OUT, i)
+                        for i in range(n_primary_blocks))
+    return keys
 
 
 def steal_work(gid: int, queues: Sequence[Deque[GWork]]) -> Optional[GWork]:

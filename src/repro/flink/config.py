@@ -63,6 +63,10 @@ class FlinkConfig:
     # Operator chaining: fuse element-wise operator chains into one task
     # (Flink's default behavior); see repro.flink.optimizer.
     enable_chaining: bool = True
+    # GPU operator chaining: fuse consecutive GPU operators into one GWork
+    # with device-resident intermediates (saves a D2H+H2D round-trip per
+    # fused boundary); see repro.flink.optimizer and repro.core.gdst.
+    enable_gpu_chaining: bool = True
 
     def __post_init__(self) -> None:
         if self.page_size <= 0:

@@ -42,7 +42,8 @@ def _is_empty(elements: Any) -> bool:
 def apply_map(elements: Any, udf: Callable) -> Any:
     """``map``: one output element per input element."""
     if _is_empty(elements):
-        return elements
+        # Normalize missing payloads to []; keep empty ndarrays (dtype).
+        return [] if elements is None else elements
     if is_vectorized(udf):
         return udf(elements)
     if isinstance(elements, np.ndarray):
@@ -53,7 +54,7 @@ def apply_map(elements: Any, udf: Callable) -> Any:
 def apply_filter(elements: Any, udf: Callable) -> Any:
     """``filter``: keep elements where the predicate holds."""
     if _is_empty(elements):
-        return elements
+        return [] if elements is None else elements
     if is_vectorized(udf):
         result = udf(elements)
         if isinstance(result, np.ndarray) and result.dtype == bool:
@@ -67,11 +68,19 @@ def apply_filter(elements: Any, udf: Callable) -> Any:
 
 
 def apply_flat_map(elements: Any, udf: Callable) -> List[Any]:
-    """``flatMap``: zero or more output elements per input element."""
+    """``flatMap``: zero or more output elements per input element.
+
+    Always returns a list: a vectorized UDF may hand back an ndarray (or
+    None), but flatMap callers ``.extend`` the result and chain stages
+    expect list semantics.
+    """
     if _is_empty(elements):
         return []
     if is_vectorized(udf):
-        return udf(elements)
+        out = udf(elements)
+        if out is None:
+            return []
+        return out if isinstance(out, list) else list(out)
     out: List[Any] = []
     for x in elements:
         out.extend(udf(x))

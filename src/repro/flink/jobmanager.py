@@ -62,6 +62,9 @@ class JobMetrics:
     schedule_s: float = 0.0
     compute_s: float = 0.0          # summed across subtasks (CPU-seconds)
     gpu_kernel_s: float = 0.0       # summed kernel time (GFlink operators)
+    #: Kernel seconds per kernel name — fused chains report every stage
+    #: separately here (repro.flink.report.breakdown prints them).
+    gpu_stage_seconds: Dict[str, float] = field(default_factory=dict)
     pcie_bytes: float = 0.0         # H2D+D2H traffic (GFlink operators)
     shuffle_bytes: float = 0.0
     hdfs_read_bytes: float = 0.0
@@ -162,9 +165,11 @@ class JobManager:
         yield self.env.timeout(self.config.flink.job_submit_s)
         metrics.submit_s = self.config.flink.job_submit_s
 
-        if self.config.flink.enable_chaining:
+        flink = self.config.flink
+        if flink.enable_chaining or flink.enable_gpu_chaining:
             from repro.flink.optimizer import apply_chaining
-            sinks = apply_chaining(sinks)
+            sinks = apply_chaining(sinks, cpu=flink.enable_chaining,
+                                   gpu=flink.enable_gpu_chaining)
         graph = ExecutionGraph(sinks, self.cluster.default_parallelism)
         scheduler = Scheduler(self.config.worker_names())
 

@@ -44,6 +44,13 @@ def breakdown(metrics: JobMetrics) -> str:
         f"  T_schedule          {metrics.schedule_s:10.3f} s",
         f"  compute (cpu-sec)   {metrics.compute_s:10.3f} s",
         f"  gpu kernels         {metrics.gpu_kernel_s:10.3f} s",
+    ]
+    # Per-kernel stage timings: fused GPU chains report each member kernel
+    # separately, so chained launches stay visible in the decomposition.
+    for kernel_name in sorted(metrics.gpu_stage_seconds):
+        seconds = metrics.gpu_stage_seconds[kernel_name]
+        lines.append(f"    gpu stage {kernel_name:<16} {seconds:8.3f} s")
+    lines += [
         f"  PCIe traffic        {metrics.pcie_bytes / 1e6:10.1f} MB",
         f"  shuffle traffic     {metrics.shuffle_bytes / 1e6:10.1f} MB",
         f"  HDFS read+write     {io_bytes / 1e6:10.1f} MB",
