@@ -13,13 +13,20 @@ simulation.  Every bench
 
 from __future__ import annotations
 
+import itertools
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.core import GFlinkCluster, GFlinkSession
-from repro.flink import ClusterConfig, CPUSpec
+from repro.flink import ClusterConfig, CPUSpec, FlinkConfig
+from repro.obs.export import (
+    collect_cluster,
+    write_chrome_trace,
+    write_metrics,
+)
 from repro.workloads.base import WorkloadResult
 
 #: Consolidated results of one benchmark run of this PR's suite: each bench
@@ -51,9 +58,15 @@ PAPER_GPUS = ("c2050", "c2050")
 
 def paper_cluster_config(n_workers: int = 10,
                          gpus: Sequence[str] = PAPER_GPUS) -> ClusterConfig:
-    """The evaluation cluster of §6.5 (scaled by ``n_workers``)."""
+    """The evaluation cluster of §6.5 (scaled by ``n_workers``).
+
+    Benchmarks run with tracing on (tests keep the default off): it never
+    touches the simulated clock, and setting ``REPRO_BENCH_TRACE_DIR`` makes
+    every :func:`run_workload` drop its Chrome trace + metrics there.
+    """
     return ClusterConfig(n_workers=n_workers, cpu=CPUSpec(),
-                         gpus_per_worker=tuple(gpus))
+                         gpus_per_worker=tuple(gpus),
+                         flink=FlinkConfig(enable_tracing=True))
 
 
 def fresh_session(config: ClusterConfig) -> GFlinkSession:
@@ -112,12 +125,31 @@ class FigureReport:
         record_bench(self.title, {"rows": table})
 
 
+_trace_seq = itertools.count()
+
+
+def _maybe_dump_trace(session: GFlinkSession, label: str) -> None:
+    """Drop this run's trace + metrics into ``$REPRO_BENCH_TRACE_DIR``."""
+    out_dir = os.environ.get("REPRO_BENCH_TRACE_DIR")
+    cluster = session.cluster
+    if not out_dir or not cluster.obs.enabled:
+        return
+    collect_cluster(cluster.obs.registry, cluster)
+    base = Path(out_dir) / f"{next(_trace_seq):03d}-{label}"
+    write_chrome_trace(cluster.obs.tracer,
+                       base.with_suffix(".trace.json"))
+    write_metrics(cluster.obs.registry, base.with_suffix(".metrics.json"))
+
+
 def run_workload(workload_factory: Callable[[], object], mode: str,
                  config: ClusterConfig,
                  session: Optional[GFlinkSession] = None) -> WorkloadResult:
     """Run one workload in one mode on a fresh (or given) cluster."""
     session = session or fresh_session(config)
-    return workload_factory().run(session, mode)
+    workload = workload_factory()
+    result = workload.run(session, mode)
+    _maybe_dump_trace(session, f"{type(workload).__name__}-{mode}")
+    return result
 
 
 def sweep(workload_factory: Callable[[object], object],

@@ -16,7 +16,22 @@ export PYTHONPATH="${PYTHONPATH:+$PYTHONPATH:}src"
 echo "== tier-1: unit + integration tests =="
 python -m pytest -q
 
+echo "== lint: cache-region table is private to gmemory.py/repro.obs =="
+if grep -rn "_regions" src/repro --include='*.py' \
+        | grep -v 'repro/core/gmemory\.py' \
+        | grep -v 'repro/obs/'; then
+    echo "FAIL: _regions accessed outside core/gmemory.py and repro/obs" >&2
+    exit 1
+fi
+echo "ok"
+
 if [[ "${1:-}" != "--fast" ]]; then
+    echo "== traced bench smoke: wordcount + trace schema validation =="
+    python -m repro trace wordcount --workers 2 --real 4000 --nominal 1e6 \
+        --out traces/ci_wordcount.json \
+        --metrics-out traces/ci_wordcount_metrics.json
+    python -m repro.obs.validate traces/ci_wordcount.json
+
     echo "== bench smoke: GPU chaining ablation + cache policies =="
     python -m pytest -q \
         benchmarks/bench_ablation_gpu_chaining.py \

@@ -5,6 +5,8 @@ Examples::
     python -m repro list
     python -m repro run kmeans --mode gpu --workers 10 --iterations 8
     python -m repro run spmv --mode both --nominal 1e7
+    python -m repro trace wordcount --out traces/wordcount.json
+    python -m repro metrics kmeans --mode gpu
     python -m repro specs
 """
 
@@ -15,8 +17,10 @@ import sys
 from typing import Dict, Optional
 
 from repro.core import GFlinkCluster, GFlinkSession
-from repro.flink import ClusterConfig, CPUSpec
+from repro.flink import ClusterConfig, CPUSpec, FlinkConfig
 from repro.gpu.specs import SPECS
+from repro.obs.export import collect_cluster, write_chrome_trace, \
+    write_metrics
 from repro.workloads import (
     ConnectedComponentsWorkload,
     KMeansWorkload,
@@ -40,6 +44,26 @@ WORKLOADS: Dict[str, tuple] = {
 }
 
 
+def _add_run_options(p: argparse.ArgumentParser, single_mode: bool) -> None:
+    """Workload-run options shared by ``run``, ``trace`` and ``metrics``."""
+    p.add_argument("workload", choices=sorted(WORKLOADS))
+    if single_mode:
+        p.add_argument("--mode", choices=("cpu", "gpu"), default="gpu")
+    else:
+        p.add_argument("--mode", choices=("cpu", "gpu", "both"),
+                       default="both")
+    p.add_argument("--workers", type=int, default=10,
+                   help="slave nodes (default: the paper's 10)")
+    p.add_argument("--gpus", default="c2050,c2050",
+                   help="comma-separated GPU specs per worker")
+    p.add_argument("--iterations", type=int, default=None)
+    p.add_argument("--nominal", type=float, default=None,
+                   help="nominal input size (elements or pages)")
+    p.add_argument("--real", type=int, default=12_000,
+                   help="in-memory sample size")
+    p.add_argument("--seed", type=int, default=None)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -47,19 +71,22 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     run = sub.add_parser("run", help="run one workload")
-    run.add_argument("workload", choices=sorted(WORKLOADS))
-    run.add_argument("--mode", choices=("cpu", "gpu", "both"),
-                     default="both")
-    run.add_argument("--workers", type=int, default=10,
-                     help="slave nodes (default: the paper's 10)")
-    run.add_argument("--gpus", default="c2050,c2050",
-                     help="comma-separated GPU specs per worker")
-    run.add_argument("--iterations", type=int, default=None)
-    run.add_argument("--nominal", type=float, default=None,
-                     help="nominal input size (elements or pages)")
-    run.add_argument("--real", type=int, default=12_000,
-                     help="in-memory sample size")
-    run.add_argument("--seed", type=int, default=None)
+    _add_run_options(run, single_mode=False)
+
+    trace = sub.add_parser(
+        "trace", help="run one workload with tracing, write a Chrome trace")
+    _add_run_options(trace, single_mode=True)
+    trace.add_argument("--out", default=None,
+                       help="trace path (default traces/<workload>-<mode>"
+                            ".json)")
+    trace.add_argument("--metrics-out", default=None,
+                       help="also write the metrics snapshot JSON here")
+
+    metrics = sub.add_parser(
+        "metrics", help="run one workload, print/write its metrics snapshot")
+    _add_run_options(metrics, single_mode=True)
+    metrics.add_argument("--out", default=None,
+                         help="write JSON here instead of printing text")
 
     sub.add_parser("list", help="list available workloads")
     sub.add_parser("specs", help="show the GPU spec catalog")
@@ -105,6 +132,49 @@ def _cmd_run(args, out) -> int:
     return 0
 
 
+def _traced_run(args):
+    """One workload run on a tracing-enabled cluster."""
+    gpus = tuple(g for g in args.gpus.split(",") if g)
+    config = ClusterConfig(n_workers=args.workers, cpu=CPUSpec(),
+                           gpus_per_worker=gpus,
+                           flink=FlinkConfig(enable_tracing=True))
+    cluster = GFlinkCluster(config)
+    workload = _make_workload(args.workload, args)
+    result = workload.run(GFlinkSession(cluster), args.mode)
+    collect_cluster(cluster.obs.registry, cluster)
+    return cluster, result
+
+
+def _cmd_trace(args, out) -> int:
+    cluster, result = _traced_run(args)
+    trace_path = args.out or f"traces/{args.workload}-{args.mode}.json"
+    write_chrome_trace(cluster.obs.tracer, trace_path)
+    tracer = cluster.obs.tracer
+    tracks = tracer.track_names()
+    lanes = sum(len(threads) for threads in tracks.values())
+    print(f"workload={args.workload} mode={args.mode} "
+          f"total {result.total_seconds:.2f} s", file=out)
+    print(f"trace: {trace_path} ({len(tracer)} events, "
+          f"{len(tracks)} processes, {lanes} lanes) — open in "
+          f"https://ui.perfetto.dev", file=out)
+    if args.metrics_out:
+        write_metrics(cluster.obs.registry, args.metrics_out)
+        print(f"metrics: {args.metrics_out}", file=out)
+    return 0
+
+
+def _cmd_metrics(args, out) -> int:
+    cluster, result = _traced_run(args)
+    print(f"workload={args.workload} mode={args.mode} "
+          f"total {result.total_seconds:.2f} s", file=out)
+    if args.out:
+        write_metrics(cluster.obs.registry, args.out)
+        print(f"metrics: {args.out}", file=out)
+    else:
+        print(cluster.obs.registry.render(), file=out)
+    return 0
+
+
 def _cmd_list(out) -> int:
     print("available workloads (paper Table 1):", file=out)
     for name, (cls, nominal, size_param) in sorted(WORKLOADS.items()):
@@ -131,6 +201,10 @@ def main(argv: Optional[list] = None, out=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "run":
         return _cmd_run(args, out)
+    if args.command == "trace":
+        return _cmd_trace(args, out)
+    if args.command == "metrics":
+        return _cmd_metrics(args, out)
     if args.command == "list":
         return _cmd_list(out)
     if args.command == "specs":

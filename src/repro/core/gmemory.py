@@ -60,6 +60,44 @@ class CacheEntry:
     buffer: DeviceBuffer  # unregistered view into the region's reservation
 
 
+@dataclass(frozen=True)
+class CacheStats:
+    """Aggregated cache statistics — the public observability view.
+
+    Reports (:func:`repro.flink.report.gpu_report`) and metrics collection
+    (:func:`repro.obs.export.collect_cluster`) read this instead of poking
+    at the manager's private region table.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    spills: int = 0
+    used_bytes: int = 0
+    capacity_bytes: int = 0
+    entries: int = 0
+
+    @property
+    def probes(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> Optional[float]:
+        """Hits over probes, or None when the cache was never probed."""
+        return self.hits / self.probes if self.probes else None
+
+    def merged(self, region: "CacheRegion") -> "CacheStats":
+        """These stats plus one region's counters."""
+        return CacheStats(
+            hits=self.hits + region.hits,
+            misses=self.misses + region.misses,
+            evictions=self.evictions + region.evictions,
+            spills=self.spills + region.spills,
+            used_bytes=self.used_bytes + region.used,
+            capacity_bytes=self.capacity_bytes + region.capacity,
+            entries=self.entries + len(region))
+
+
 class CacheRegion:
     """A per-application reservation of one device's memory.
 
@@ -233,4 +271,23 @@ class GMemoryManager:
         for (app, gid), region in self._regions.items():
             if app == app_id:
                 out[gid] = (region.hits, region.misses, region.evictions)
+        return out
+
+    def apps(self) -> List[str]:
+        """Application ids currently holding cache regions."""
+        return sorted({app for app, _ in self._regions})
+
+    def cache_stats(self, app_id: Optional[str] = None
+                    ) -> Dict[int, CacheStats]:
+        """Per-device aggregated :class:`CacheStats`.
+
+        With ``app_id``, only that application's regions count; otherwise
+        every application's regions are folded together per device.  This is
+        the supported way to read cache statistics from outside.
+        """
+        out: Dict[int, CacheStats] = {}
+        for (app, gid), region in self._regions.items():
+            if app_id is not None and app != app_id:
+                continue
+            out[gid] = out.get(gid, CacheStats()).merged(region)
         return out

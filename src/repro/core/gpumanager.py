@@ -54,10 +54,11 @@ class GPUManager:
 
     def __init__(self, env: Environment, worker_name: str,
                  gpu_spec_names: Sequence[str], registry: KernelRegistry,
-                 config: Optional[GPUManagerConfig] = None):
+                 config: Optional[GPUManagerConfig] = None, obs=None):
         self.env = env
         self.worker_name = worker_name
         self.config = config or GPUManagerConfig()
+        self.obs = obs
         self.devices: List[GPUDevice] = [
             GPUDevice(env, get_spec(name), index=i,
                       name=f"{worker_name}-gpu{i}")
@@ -74,7 +75,8 @@ class GPUManager:
             env, self.devices, self.wrapper, self.gmm,
             streams_per_gpu=self.config.streams_per_gpu,
             block_nbytes=self.config.block_nbytes,
-            locality_aware=self.config.locality_aware)
+            locality_aware=self.config.locality_aware,
+            obs=obs)
 
     # -- the TaskManager-facing API ------------------------------------------------
     def submit(self, work: GWork) -> Event:

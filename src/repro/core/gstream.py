@@ -33,6 +33,7 @@ from repro.core.scheduling import locality_keys, schedule_work, steal_work
 from repro.gpu.device import GPUDevice
 from repro.gpu.kernel import LaunchConfig
 from repro.gpu.memory import DeviceBuffer
+from repro.obs import Observability
 
 #: Depth of the inter-stage queues: how many blocks may be in flight between
 #: two stages.  2 suffices for full overlap of a 3-stage linear pipeline.
@@ -82,34 +83,43 @@ class GStream:
                 and mgr.gmm.has_region(work.app_id, self.device_index)):
             spill_region = mgr.gmm.region(work.app_id, self.device_index)
         live_before = {buf.buffer_id for buf in device.memory.live_buffers()}
-        try:
-            secondary = yield from self._stage_secondary_inputs(
-                work, device, region)
-            if work.mapped_memory:
-                output_elements = yield from self._mapped_execute(
-                    work, device, secondary)
-            else:
-                output_elements = yield from self._pipeline(
-                    work, device, region, spill_region, secondary)
-        except Exception as exc:  # surface through the completion event
-            # Reclaim this work's in-flight allocations (cache-region
-            # buffers are unregistered views and survive): a retried work
-            # must not leak the device dry.
-            for buf in device.memory.live_buffers():
-                if buf.buffer_id not in live_before:
-                    device.memory.free(buf)
-            if spill_region is not None:
-                spill_region.remove_spills(work.work_id)
-            self._temp_secondary = []
-            if work.completion is not None and not work.completion.triggered:
-                work.completion.fail(exc)
-            self.works_executed += 1
-            return
+        tracer = mgr.obs.tracer
+        with tracer.span(f"gwork:{work.execute_name}", "gpu.pipeline",
+                         tracer.track(device.name,
+                                      f"stream{self.stream_index}"),
+                         kernel=work.execute_name, work=work.work_id,
+                         cached=bool(work.cache)) as wsp:
+            try:
+                secondary = yield from self._stage_secondary_inputs(
+                    work, device, region)
+                if work.mapped_memory:
+                    output_elements = yield from self._mapped_execute(
+                        work, device, secondary)
+                else:
+                    output_elements = yield from self._pipeline(
+                        work, device, region, spill_region, secondary)
+            except Exception as exc:  # surface through the completion event
+                # Reclaim this work's in-flight allocations (cache-region
+                # buffers are unregistered views and survive): a retried work
+                # must not leak the device dry.
+                wsp.set(error=type(exc).__name__)
+                for buf in device.memory.live_buffers():
+                    if buf.buffer_id not in live_before:
+                        device.memory.free(buf)
+                if spill_region is not None:
+                    spill_region.remove_spills(work.work_id)
+                self._temp_secondary = []
+                if (work.completion is not None
+                        and not work.completion.triggered):
+                    work.completion.fail(exc)
+                self.works_executed += 1
+                return
         out = work.out_buffer.derive(output_elements)
         if work.out_element_nbytes is not None:
             out.element_nbytes = work.out_element_nbytes
         self.works_executed += 1
         mgr.works_completed += 1
+        mgr.obs.registry.counter("gwork.completed", device=device.name).inc()
         if work.completion is not None:
             work.completion.succeed(out)
 
@@ -119,6 +129,8 @@ class GStream:
         """Upload non-primary operands whole (cache-aware)."""
         secondary: Dict[str, DeviceBuffer] = {}
         self._temp_secondary: List[DeviceBuffer] = []
+        obs = self.manager.obs
+        tracer = obs.tracer
         for name, hbuf in work.in_buffers.items():
             if name == PRIMARY:
                 continue
@@ -126,6 +138,12 @@ class GStream:
             use_cache = region is not None and hbuf.cacheable
             if use_cache:
                 entry = region.lookup(key)
+                outcome = "hit" if entry is not None else "miss"
+                tracer.instant("cache.probe", "gpu.cache",
+                               tracer.track(device.name, "cache"),
+                               operand=name, outcome=outcome)
+                obs.registry.counter("gpu.cache.probe", device=device.name,
+                                     outcome=outcome).inc()
                 if entry is not None:
                     secondary[name] = entry.buffer
                     continue
@@ -141,8 +159,13 @@ class GStream:
             whole = Block(index=0, elements=hbuf.elements,
                           nominal_count=hbuf.nominal_count,
                           nbytes=int(hbuf.nbytes))
-            yield from self.manager.wrapper.transfer_h2d_inline(
-                device, dev_buf, whole, hbuf, work.comm_mode)
+            with tracer.span("h2d", "gpu.device",
+                             tracer.track(device.name, "copy:h2d"),
+                             nbytes=int(hbuf.nbytes), operand=name):
+                yield from self.manager.wrapper.transfer_h2d_inline(
+                    device, dev_buf, whole, hbuf, work.comm_mode)
+            obs.registry.counter("gpu.pcie.h2d.bytes",
+                                 device=device.name).inc(int(hbuf.nbytes))
             secondary[name] = dev_buf
         return secondary
 
@@ -159,6 +182,18 @@ class GStream:
         to_d2h: Store = Store(self.env, capacity=PIPELINE_DEPTH)
         results: Dict[int, object] = {}
         primary_region = region if work.primary_cached else None
+        obs = self.manager.obs
+        tracer = obs.tracer
+        reg = obs.registry
+        # Distinct lanes per engine role make the paper's overlap argument
+        # visible in Perfetto: kernels on one row, each copy direction on
+        # its own, cache probes as markers.
+        h2d_track = tracer.track(device.name, "copy:h2d")
+        d2h_track = tracer.track(device.name, "copy:d2h")
+        kernel_track = tracer.track(device.name, "kernel")
+        cache_track = tracer.track(device.name, "cache")
+        h2d_bytes_ctr = reg.counter("gpu.pcie.h2d.bytes", device=device.name)
+        d2h_bytes_ctr = reg.counter("gpu.pcie.d2h.bytes", device=device.name)
 
         def h2d_stage():
             for blk in blocks:
@@ -181,6 +216,14 @@ class GStream:
                         (work.cache_key, PRIMARY, blk.index))
                     if entry is not None and entry.buffer.data is not None:
                         dev_buf = entry.buffer
+                if region is not None or primary_region is not None:
+                    outcome = ("stage-hit" if resume
+                               else "primary-hit" if dev_buf is not None
+                               else "miss")
+                    tracer.instant("cache.probe", "gpu.cache", cache_track,
+                                   block=blk.index, outcome=outcome)
+                    reg.counter("gpu.cache.probe", device=device.name,
+                                outcome=outcome).inc()
                 if dev_buf is None:
                     entry = (primary_region.try_insert(
                                  (work.cache_key, PRIMARY, blk.index),
@@ -192,8 +235,11 @@ class GStream:
                         dev_buf = yield from wrapper.cuda_malloc(
                             device, blk.nbytes)
                         temp = True
-                    yield from wrapper.transfer_h2d_inline(
-                        device, dev_buf, blk, primary, work.comm_mode)
+                    with tracer.span("h2d", "gpu.device", h2d_track,
+                                     nbytes=blk.nbytes, block=blk.index):
+                        yield from wrapper.transfer_h2d_inline(
+                            device, dev_buf, blk, primary, work.comm_mode)
+                    h2d_bytes_ctr.inc(blk.nbytes)
                 yield to_kernel.put((blk, dev_buf, temp, resume))
             yield to_kernel.put(None)
 
@@ -237,10 +283,20 @@ class GStream:
                         outputs={"out": out_dev}, params=st.params,
                         layout=primary.layout)
                     spec = wrapper.runtime.registry.get(st.execute_name)
+                    ksec = spec.execution_seconds(nominal, launch,
+                                                  device.spec,
+                                                  layout=primary.layout)
                     work.stage_seconds[st.execute_name] = (
-                        work.stage_seconds.get(st.execute_name, 0.0)
-                        + spec.execution_seconds(nominal, launch, device.spec,
-                                                 layout=primary.layout))
+                        work.stage_seconds.get(st.execute_name, 0.0) + ksec)
+                    # The launch returns at kernel end while holding the
+                    # exclusive compute engine, so [now - ksec, now] is the
+                    # engine's occupancy window — kernel spans never overlap.
+                    tracer.complete(st.execute_name, "gpu.device",
+                                    kernel_track, start=self.env.now - ksec,
+                                    end=self.env.now, block=blk.index,
+                                    stage=idx)
+                    reg.counter("gpu.kernel.seconds", device=device.name,
+                                kernel=st.execute_name).inc(ksec)
                     # Retire this stage's input: spilled intermediates give
                     # their region room back, temporaries are freed, cached
                     # buffers stay resident.
@@ -271,8 +327,12 @@ class GStream:
                     return
                 blk, out_dev, out_temp, out_spill, d2h_nominal, per_elem = item
                 nbytes = int(max(d2h_nominal * per_elem, 1))
-                data = yield from wrapper.transfer_d2h_inline(
-                    device, work.out_buffer, out_dev, nbytes, work.comm_mode)
+                with tracer.span("d2h", "gpu.device", d2h_track,
+                                 nbytes=nbytes, block=blk.index):
+                    data = yield from wrapper.transfer_d2h_inline(
+                        device, work.out_buffer, out_dev, nbytes,
+                        work.comm_mode)
+                d2h_bytes_ctr.inc(nbytes)
                 if out_spill is not None and spill_region is not None:
                     spill_region.remove(out_spill)
                 elif out_temp:
@@ -357,6 +417,9 @@ class GStream:
                 "host buffer")
         results: Dict[int, object] = {}
         out_per_elem = self._out_nbytes_per_element(work, primary)
+        obs = self.manager.obs
+        tracer = obs.tracer
+        kernel_track = tracer.track(device.name, "kernel")
         for blk in primary.split_blocks(self.manager.block_nbytes):
             host_view = DeviceBuffer(blk.nbytes, device.name)
             host_view.data = blk.elements
@@ -378,6 +441,13 @@ class GStream:
                 yield grant
                 yield wrapper._jni()
                 yield self.env.timeout(mapped_s)
+                tracer.complete(work.execute_name, "gpu.device",
+                                kernel_track, start=self.env.now - mapped_s,
+                                end=self.env.now, block=blk.index,
+                                mapped=True)
+                obs.registry.counter(
+                    "gpu.kernel.seconds", device=device.name,
+                    kernel=work.execute_name).inc(kernel_s)
                 device.kernel_seconds += kernel_s
                 device.kernels_launched += 1
                 device.h2d_bytes += blk.nbytes
@@ -441,12 +511,16 @@ class GStreamManager:
                  wrapper: CUDAWrapper, gmm: GMemoryManager,
                  streams_per_gpu: int = 2,
                  block_nbytes: int = 8 * (1 << 20),
-                 locality_aware: bool = True):
+                 locality_aware: bool = True,
+                 obs: Optional[Observability] = None):
         if streams_per_gpu < 1:
             raise ConfigError("streams_per_gpu must be >= 1")
         if block_nbytes <= 0:
             raise ConfigError("block_nbytes must be positive")
         self.env = env
+        # A disabled stand-in keeps every call site unconditional (spans and
+        # instants are no-ops; the private registry still counts).
+        self.obs = obs if obs is not None else Observability(env)
         self.devices = list(devices)
         self.wrapper = wrapper
         self.gmm = gmm
@@ -476,8 +550,18 @@ class GStreamManager:
             stream = decision.stream
             self.idle[stream.device_index].remove(stream)
             stream.mailbox.put(work)
+            target, dispatch = stream.device_index, "stream"
         else:
+            target, dispatch = decision.queue_index, "queued"
             self.queues[decision.queue_index].append(work)
+        device_name = self.devices[target].name
+        tracer = self.obs.tracer
+        tracer.instant("gwork.submit", "gpu.schedule",
+                       tracer.track(device_name, "sched"),
+                       kernel=work.execute_name, work=work.work_id,
+                       dispatch=dispatch)
+        self.obs.registry.counter("gwork.submitted",
+                                  device=device_name).inc()
         return work.completion
 
     def _locality_keys(self, work: GWork) -> List[Hashable]:

@@ -43,7 +43,7 @@ class GFlinkCluster(Cluster):
             for worker in self.workers.values():
                 worker.gpumanager = GPUManager(
                     self.env, worker.name, self.config.gpus_per_worker,
-                    self.registry, self.gpu_config)
+                    self.registry, self.gpu_config, obs=self.obs)
 
     # -- cluster-wide GPU metrics ---------------------------------------------------
     def gpu_managers(self) -> list[GPUManager]:

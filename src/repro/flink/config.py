@@ -68,6 +68,12 @@ class FlinkConfig:
     # fused boundary); see repro.flink.optimizer and repro.core.gdst.
     enable_gpu_chaining: bool = True
 
+    # Structured tracing (repro.obs): record spans/instants from the whole
+    # stack for Chrome-trace export.  Off by default (tests); benchmarks and
+    # the `repro trace` CLI turn it on.  Tracing never schedules simulation
+    # events, so the simulated clock is identical either way.
+    enable_tracing: bool = False
+
     def __post_init__(self) -> None:
         if self.page_size <= 0:
             raise ConfigError("page_size must be positive")

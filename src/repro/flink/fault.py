@@ -10,7 +10,7 @@ budget is exhausted.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.common.errors import JobExecutionError
 
@@ -40,6 +40,9 @@ class FailureInjector:
     plan: dict = field(default_factory=dict)
     should_fail: Optional[Callable[[str, int, int], bool]] = None
     failures_injected: int = 0
+    #: Attribution log: one ``(op_name, subtask, attempt)`` per injection,
+    #: in injection order — lines up with the trace's fault instants.
+    injected: List[Tuple[str, int, int]] = field(default_factory=list)
 
     def check(self, op_name: str, subtask: int, attempt: int) -> bool:
         """True if this attempt must fail."""
@@ -49,4 +52,5 @@ class FailureInjector:
             verdict = attempt < self.plan.get((op_name, subtask), 0)
         if verdict:
             self.failures_injected += 1
+            self.injected.append((op_name, subtask, attempt))
         return verdict

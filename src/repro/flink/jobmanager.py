@@ -161,31 +161,43 @@ class JobManager:
         metrics = JobMetrics(job_name=job_name, started_at=self.env.now)
         hdfs_read0 = self.cluster.hdfs.total_bytes_read()
         hdfs_write0 = self.cluster.hdfs.total_bytes_written()
+        obs = self.cluster.obs
+        tracer = obs.tracer
+        jm_track = tracer.track(self.cluster.master_name, "jobmanager")
 
-        yield self.env.timeout(self.config.flink.job_submit_s)
-        metrics.submit_s = self.config.flink.job_submit_s
+        with tracer.span(f"job:{job_name}", "job", jm_track, job=job_name):
+            with tracer.span("job.submit", "job", jm_track, job=job_name):
+                yield self.env.timeout(self.config.flink.job_submit_s)
+            metrics.submit_s = self.config.flink.job_submit_s
 
-        flink = self.config.flink
-        if flink.enable_chaining or flink.enable_gpu_chaining:
-            from repro.flink.optimizer import apply_chaining
-            sinks = apply_chaining(sinks, cpu=flink.enable_chaining,
-                                   gpu=flink.enable_gpu_chaining)
-        graph = ExecutionGraph(sinks, self.cluster.default_parallelism)
-        scheduler = Scheduler(self.config.worker_names())
+            flink = self.config.flink
+            if flink.enable_chaining or flink.enable_gpu_chaining:
+                from repro.flink.optimizer import apply_chaining
+                sinks = apply_chaining(sinks, cpu=flink.enable_chaining,
+                                       gpu=flink.enable_gpu_chaining)
+            graph = ExecutionGraph(sinks, self.cluster.default_parallelism)
+            scheduler = Scheduler(self.config.worker_names(), tracer=tracer)
 
-        for op in graph.order:
-            if op.uid in self.cluster.materialized:
-                continue
-            yield from self._run_operator(op, graph, scheduler, metrics,
-                                          failure_injector)
-            metrics.materialized_uids.add(op.uid)
+            for op in graph.order:
+                if op.uid in self.cluster.materialized:
+                    continue
+                yield from self._run_operator(op, graph, scheduler, metrics,
+                                              failure_injector)
+                metrics.materialized_uids.add(op.uid)
 
-        metrics.finished_at = self.env.now
+            metrics.finished_at = self.env.now
         metrics.hdfs_read_bytes = (self.cluster.hdfs.total_bytes_read()
                                    - hdfs_read0)
         metrics.hdfs_write_bytes = (self.cluster.hdfs.total_bytes_written()
                                     - hdfs_write0)
         self.jobs_run += 1
+        reg = obs.registry
+        reg.counter("jobs.completed").inc()
+        reg.counter("job.subtasks", job=job_name).inc(metrics.subtasks)
+        if metrics.shuffle_bytes:
+            reg.counter("shuffle.bytes", job=job_name).inc(
+                metrics.shuffle_bytes)
+        reg.histogram("job.makespan_s").observe(metrics.makespan)
         return metrics
 
     # -- per-operator execution ----------------------------------------------------
@@ -197,50 +209,61 @@ class JobManager:
         preassigned: List[Optional[Partition]] = [None] * jv.parallelism
         per_subtask_inputs: List[List[Partition]] = [
             [] for _ in range(jv.parallelism)]
+        tracer = self.cluster.obs.tracer
+        jm_track = tracer.track(self.cluster.master_name, "jobmanager")
 
-        if isinstance(op, HdfsSource):
-            scheduler.schedule_source(jv, self.cluster.hdfs)
-        elif isinstance(op, CollectionSource):
-            parts = split_evenly(op.elements, jv.parallelism,
-                                 op.element_nbytes, op.scale)
-            scheduler.schedule_collection_source(jv, parts)
-            preassigned = list(parts)
-        else:
-            producer_parts = [self.cluster.materialized[inp.uid]
-                              for inp in op.inputs]
-            scheduler.schedule_consumer(jv, graph, producer_parts)
-            consumer_workers = [v.worker for v in jv.subtasks]
-            for k, (inp, strat) in enumerate(zip(op.inputs, op.strategies)):
-                exchange = Exchange(
-                    self.env, self.cluster.network, self.cluster.serializer,
-                    strat, producer_parts[k], jv.parallelism,
-                    consumer_workers, key_fn=op.key_fn_for_input(k),
-                    combiner=op.combiner_for_input(k))
-                result = yield self.env.process(
-                    exchange.run(), name=f"exchange-{op.name}-{k}")
-                metrics.shuffle_bytes += result.bytes_shuffled
-                for j, part in enumerate(result.inputs):
-                    per_subtask_inputs[j].append(part)
+        with tracer.span(f"op:{op.name}", "operator", jm_track, op=op.name,
+                         parallelism=jv.parallelism):
+            if isinstance(op, HdfsSource):
+                scheduler.schedule_source(jv, self.cluster.hdfs)
+            elif isinstance(op, CollectionSource):
+                parts = split_evenly(op.elements, jv.parallelism,
+                                     op.element_nbytes, op.scale)
+                scheduler.schedule_collection_source(jv, parts)
+                preassigned = list(parts)
+            else:
+                producer_parts = [self.cluster.materialized[inp.uid]
+                                  for inp in op.inputs]
+                scheduler.schedule_consumer(jv, graph, producer_parts)
+                consumer_workers = [v.worker for v in jv.subtasks]
+                ex_track = tracer.track(self.cluster.master_name, "exchange")
+                for k, (inp, strat) in enumerate(zip(op.inputs,
+                                                     op.strategies)):
+                    exchange = Exchange(
+                        self.env, self.cluster.network,
+                        self.cluster.serializer, strat, producer_parts[k],
+                        jv.parallelism, consumer_workers,
+                        key_fn=op.key_fn_for_input(k),
+                        combiner=op.combiner_for_input(k))
+                    with tracer.span(f"exchange:{op.name}", "shuffle",
+                                     ex_track, op=op.name, input=k,
+                                     strategy=strat.name) as sp:
+                        result = yield self.env.process(
+                            exchange.run(), name=f"exchange-{op.name}-{k}")
+                        sp.set(bytes=result.bytes_shuffled)
+                    metrics.shuffle_bytes += result.bytes_shuffled
+                    for j, part in enumerate(result.inputs):
+                        per_subtask_inputs[j].append(part)
 
-        if isinstance(op, HdfsSink):
-            self.cluster.hdfs.namenode.create_file(op.path)
+            if isinstance(op, HdfsSink):
+                self.cluster.hdfs.namenode.create_file(op.path)
 
-        start = self.env.now
-        subtask_procs = [
-            self.env.process(
-                self._run_subtask(vertex, per_subtask_inputs[i],
-                                  preassigned[i], jv.parallelism, metrics,
-                                  injector),
-                name=f"{op.name}[{i}]")
-            for i, vertex in enumerate(jv.subtasks)
-        ]
-        results = yield self.env.all_of(subtask_procs)
-        outputs = sorted(results.values(), key=lambda p: p.index)
+            start = self.env.now
+            subtask_procs = [
+                self.env.process(
+                    self._run_subtask(vertex, per_subtask_inputs[i],
+                                      preassigned[i], jv.parallelism, metrics,
+                                      injector),
+                    name=f"{op.name}[{i}]")
+                for i, vertex in enumerate(jv.subtasks)
+            ]
+            results = yield self.env.all_of(subtask_procs)
+            outputs = sorted(results.values(), key=lambda p: p.index)
 
-        metrics.operator_spans[op.uid] = OperatorSpan(
-            name=op.name, parallelism=jv.parallelism,
-            start=start, end=self.env.now)
-        metrics.subtasks += jv.parallelism
+            metrics.operator_spans[op.uid] = OperatorSpan(
+                name=op.name, parallelism=jv.parallelism,
+                start=start, end=self.env.now)
+            metrics.subtasks += jv.parallelism
 
         self.cluster.materialized[op.uid] = outputs
         for part in outputs:
@@ -258,29 +281,55 @@ class JobManager:
         op = vertex.op
         worker = self.cluster.workers[vertex.worker]
         flink = self.config.flink
+        obs = self.cluster.obs
+        tracer = obs.tracer
+        # One lane per task slot: concurrent subtasks on a worker render on
+        # separate rows, queued ones stack up in simulated time.
+        task_track = tracer.track(
+            worker.name, f"slot{vertex.subtask_index % self.config.slots}")
         while True:
             with worker.taskmanager.slots.request() as slot:
                 yield slot
-                overhead = flink.task_schedule_s + flink.task_deploy_s
-                metrics.schedule_s += overhead
-                yield self.env.timeout(overhead)
-                ctx = TaskContext(self.cluster, vertex, metrics, n_subtasks,
-                                  preassigned_partition=preassigned)
-                try:
-                    if injector is not None and injector.check(
-                            op.name, vertex.subtask_index, vertex.attempts):
-                        raise TaskFailure(op.name, vertex.subtask_index,
-                                          vertex.attempts)
-                    partition = yield from op.execute_subtask(ctx, inputs)
-                except TaskFailure as failure:
-                    vertex.attempts += 1
-                    metrics.retries += 1
-                    if vertex.attempts > flink.max_task_retries:
-                        raise JobExecutionError(
-                            f"{op.name}[{vertex.subtask_index}] failed "
-                            f"after {vertex.attempts} attempts"
-                        ) from failure
-                    continue  # release the slot, retry from scratch
+                with tracer.span(f"{op.name}[{vertex.subtask_index}]",
+                                 "task", task_track, op=op.name,
+                                 subtask=vertex.subtask_index,
+                                 attempt=vertex.attempts) as sp:
+                    overhead = flink.task_schedule_s + flink.task_deploy_s
+                    metrics.schedule_s += overhead
+                    yield self.env.timeout(overhead)
+                    ctx = TaskContext(self.cluster, vertex, metrics,
+                                      n_subtasks,
+                                      preassigned_partition=preassigned)
+                    try:
+                        if injector is not None and injector.check(
+                                op.name, vertex.subtask_index,
+                                vertex.attempts):
+                            tracer.instant(
+                                "fault.injected", "fault", task_track,
+                                op=op.name, subtask=vertex.subtask_index,
+                                attempt=vertex.attempts)
+                            obs.registry.counter("faults.injected",
+                                                 op=op.name).inc()
+                            raise TaskFailure(op.name, vertex.subtask_index,
+                                              vertex.attempts)
+                        partition = yield from op.execute_subtask(ctx, inputs)
+                    except TaskFailure as failure:
+                        vertex.attempts += 1
+                        metrics.retries += 1
+                        sp.set(failed=True)
+                        tracer.instant(
+                            "task.retry", "fault", task_track, op=op.name,
+                            subtask=vertex.subtask_index,
+                            attempt=vertex.attempts - 1,
+                            cause=type(failure).__name__)
+                        obs.registry.counter("task.retries",
+                                             op=op.name).inc()
+                        if vertex.attempts > flink.max_task_retries:
+                            raise JobExecutionError(
+                                f"{op.name}[{vertex.subtask_index}] failed "
+                                f"after {vertex.attempts} attempts"
+                            ) from failure
+                        continue  # release the slot, retry from scratch
                 worker.taskmanager.tasks_executed += 1
                 return partition
 

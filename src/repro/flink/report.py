@@ -79,14 +79,12 @@ def gpu_report(cluster) -> str:
     if not managers:
         return "no GPUs in this cluster"
     for gm in managers:
+        cache = gm.gmm.cache_stats()
         for device in gm.devices:
-            hits = misses = 0
-            for (app, gid), region in gm.gmm._regions.items():
-                if gid == device.index:
-                    hits += region.hits
-                    misses += region.misses
-            probes = hits + misses
-            rate = f"{hits / probes:10.1%}" if probes else "       n/a"
+            stats = cache.get(device.index)
+            hit_rate = stats.hit_rate if stats is not None else None
+            rate = f"{hit_rate:10.1%}" if hit_rate is not None else \
+                "       n/a"
             lines.append(
                 f"{device.name:24s} {device.kernels_launched:>8d} "
                 f"{device.kernel_seconds:>9.3f} "
@@ -109,3 +107,8 @@ def session_summary(history: List[JobMetrics]) -> str:
     lines.append(f"{'TOTAL (' + str(len(history)) + ' jobs)':30s} "
                  f"{total:>9.3f}")
     return "\n".join(lines)
+
+
+def metrics_summary(registry) -> str:
+    """Flat text rendering of a :class:`repro.obs.MetricsRegistry`."""
+    return registry.render()

@@ -28,6 +28,7 @@ from repro.flink.plan import (
 from repro.flink.serialization import Serializer
 from repro.flink.taskmanager import Worker
 from repro.hdfs.filesystem import HDFS
+from repro.obs import Observability
 
 
 @dataclass
@@ -52,12 +53,15 @@ class Cluster:
                  env: Optional[Environment] = None):
         self.config = config or ClusterConfig()
         self.env = env or Environment()
+        # Tracing + metrics for everything this cluster runs (repro.obs).
+        self.obs = Observability(self.env,
+                                 enabled=self.config.flink.enable_tracing)
         names = self.config.worker_names()
         self.network = Network(self.env, [self.master_name] + names,
                                self.config.network)
         self.hdfs = HDFS(self.env, names, self.network,
                          replication=self.config.hdfs_replication,
-                         disk=self.config.disk)
+                         disk=self.config.disk, obs=self.obs)
         self.workers: Dict[str, Worker] = {
             name: Worker(self.env, name, self.config) for name in names
         }

@@ -27,9 +27,12 @@ from repro.hdfs.filesystem import HDFS
 class Scheduler:
     """Fills in worker assignments for an execution graph, operator by operator."""
 
-    def __init__(self, worker_names: List[str]):
+    def __init__(self, worker_names: List[str], tracer=None):
         self.worker_names = list(worker_names)
         self._load: Dict[str, int] = {w: 0 for w in worker_names}
+        # Optional repro.obs.trace.Tracer: placement decisions become
+        # "place" instants on the master's scheduler lane.
+        self.tracer = tracer
 
     # -- helpers ---------------------------------------------------------------
     def _least_loaded(self) -> str:
@@ -38,6 +41,14 @@ class Scheduler:
     def _assign(self, worker: str) -> str:
         self._load[worker] += 1
         return worker
+
+    def _trace_place(self, op_name: str, subtask: int, worker: str,
+                     reason: str) -> None:
+        if self.tracer is None or not self.tracer.enabled:
+            return
+        self.tracer.instant(
+            "place", "schedule", self.tracer.track("master", "scheduler"),
+            op=op_name, subtask=subtask, worker=worker, reason=reason)
 
     # -- per-operator scheduling ---------------------------------------------------
     def schedule_source(self, jv: ExecutionJobVertex, hdfs: HDFS) -> None:
@@ -59,6 +70,7 @@ class Scheduler:
                 and vertex.assigned_blocks[0].is_local_to(w)
             ]
             worker = self._least_loaded()
+            reason = "spread"
             if local_candidates:
                 best_local = min(local_candidates,
                                  key=lambda w: self._load[w])
@@ -68,7 +80,10 @@ class Scheduler:
                 # cheaper than queueing behind a slot).
                 if self._load[best_local] <= self._load[worker]:
                     worker = best_local
+                    reason = "block-local"
             vertex.worker = self._assign(worker)
+            self._trace_place(op.name, vertex.subtask_index, vertex.worker,
+                              reason)
 
     def schedule_collection_source(self, jv: ExecutionJobVertex,
                                    partitions: List[Partition]) -> None:
@@ -77,6 +92,8 @@ class Scheduler:
             worker = self._least_loaded()
             vertex.worker = self._assign(worker)
             part.worker = vertex.worker
+            self._trace_place(jv.op.name, vertex.subtask_index,
+                              vertex.worker, "spread")
 
     def schedule_consumer(self, jv: ExecutionJobVertex,
                           graph: ExecutionGraph,
@@ -112,8 +129,12 @@ class Scheduler:
                     home = parts[vertex.subtask_index].worker
             if home is not None and home in self._load:
                 vertex.worker = self._assign(home)
+                reason = "colocate-input"
             else:
                 vertex.worker = self._assign(self._least_loaded())
+                reason = "spread"
+            self._trace_place(op.name, vertex.subtask_index, vertex.worker,
+                              reason)
 
     def release(self, jv: ExecutionJobVertex) -> None:
         """Forget load contributed by a finished operator."""

@@ -1,0 +1,52 @@
+"""GTrace: end-to-end structured tracing + metrics for the GFlink stack.
+
+The paper's whole evaluation (§6, Eq. 1, Observations 1–3) is a story about
+*where time goes* — submit/schedule overheads, PCIe transfers, kernel time,
+cache hits.  This package is the unified instrumentation layer that tells
+that story per run instead of per aggregate:
+
+* :class:`~repro.obs.trace.Tracer` — structured spans/instants with
+  sim-clock timestamps, organized into per-worker / per-device /
+  per-copy-engine tracks so transfer/compute overlap is visible.
+* :class:`~repro.obs.metrics.MetricsRegistry` — labelled counters, gauges
+  and histograms the runtime's ad-hoc counters feed into.
+* :mod:`repro.obs.export` — Chrome trace-event JSON (open in Perfetto) and
+  flat metrics JSON, plus a dependency-free schema validator.
+
+Wiring: every :class:`~repro.flink.runtime.Cluster` owns an
+:class:`Observability` (tracer + registry), switched by
+``FlinkConfig.enable_tracing`` — off by default (tests), on in benchmarks.
+Tracing never schedules simulation events, so the simulated clock is
+bit-identical with tracing on or off.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import TraceEvent, Tracer, Track
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Observability",
+    "TraceEvent",
+    "Tracer",
+    "Track",
+]
+
+
+class Observability:
+    """One cluster's tracer + metrics registry, passed through the stack."""
+
+    def __init__(self, env: Any, enabled: bool = False):
+        self.tracer = Tracer(env, enabled=enabled)
+        self.registry = MetricsRegistry(enabled=enabled)
+
+    @property
+    def enabled(self) -> bool:
+        """True when the tracer and registry are recording."""
+        return self.tracer.enabled

@@ -1,0 +1,164 @@
+"""Exporters: Chrome trace-event JSON, flat metrics JSON, schema validation.
+
+The trace format is the Chrome/Perfetto "JSON Array with metadata" flavour:
+``{"traceEvents": [...]}`` where each event is a complete span (``"ph":
+"X"``, explicit ``ts``/``dur`` in microseconds), an instant (``"ph": "i"``)
+or a metadata record (``"ph": "M"`` naming processes/threads).  Open a
+written file at https://ui.perfetto.dev or chrome://tracing.
+
+:func:`validate_chrome_trace` is a self-contained structural validator (no
+third-party jsonschema dependency): it returns a list of human-readable
+errors, empty when the document conforms.  CI runs it over the traced bench
+smoke via ``python -m repro.obs.validate``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+__all__ = [
+    "write_chrome_trace",
+    "write_metrics",
+    "validate_chrome_trace",
+    "validate_chrome_trace_file",
+    "collect_cluster",
+]
+
+#: Event phases the exporter emits (and the validator accepts).
+_PHASES = {"X", "i", "M"}
+
+
+def write_chrome_trace(tracer: Tracer, path: Union[str, Path]) -> Path:
+    """Write the tracer's events as a Chrome trace JSON file."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(tracer.to_chrome()) + "\n")
+    return path
+
+
+def write_metrics(registry: MetricsRegistry, path: Union[str, Path]) -> Path:
+    """Write the registry snapshot as flat JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(registry.to_json() + "\n")
+    return path
+
+
+# -- schema validation ----------------------------------------------------------
+def _check_event(i: int, ev: Any, errors: List[str]) -> None:
+    where = f"traceEvents[{i}]"
+    if not isinstance(ev, dict):
+        errors.append(f"{where}: not an object")
+        return
+    ph = ev.get("ph")
+    if ph not in _PHASES:
+        errors.append(f"{where}: ph must be one of {sorted(_PHASES)}, "
+                      f"got {ph!r}")
+        return
+    if not isinstance(ev.get("name"), str) or not ev["name"]:
+        errors.append(f"{where}: missing/empty name")
+    for field in ("pid", "tid"):
+        if not isinstance(ev.get(field), int):
+            errors.append(f"{where}: {field} must be an int")
+    if "args" in ev and not isinstance(ev["args"], dict):
+        errors.append(f"{where}: args must be an object")
+    if ph == "M":
+        if ev.get("name") not in ("process_name", "thread_name"):
+            errors.append(f"{where}: unknown metadata record {ev.get('name')!r}")
+        elif not isinstance(ev.get("args", {}).get("name"), str):
+            errors.append(f"{where}: metadata args.name must be a string")
+        return
+    ts = ev.get("ts")
+    if not isinstance(ts, (int, float)) or ts < 0:
+        errors.append(f"{where}: ts must be a non-negative number")
+    if not isinstance(ev.get("cat"), str) or not ev["cat"]:
+        errors.append(f"{where}: missing/empty cat")
+    if ph == "X":
+        dur = ev.get("dur")
+        if not isinstance(dur, (int, float)) or dur < 0:
+            errors.append(f"{where}: X event needs non-negative dur")
+    elif ph == "i":
+        if ev.get("s") not in ("t", "p", "g"):
+            errors.append(f"{where}: instant scope s must be t/p/g")
+
+
+def validate_chrome_trace(doc: Any) -> List[str]:
+    """Structural validation of a Chrome trace document; [] when valid."""
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document root must be an object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["document must contain a traceEvents array"]
+    pids_named = set()
+    for i, ev in enumerate(events):
+        _check_event(i, ev, errors)
+        if isinstance(ev, dict) and ev.get("ph") == "M" \
+                and ev.get("name") == "process_name":
+            pids_named.add(ev.get("pid"))
+    for i, ev in enumerate(events):
+        if isinstance(ev, dict) and ev.get("ph") in ("X", "i") \
+                and ev.get("pid") not in pids_named:
+            errors.append(f"traceEvents[{i}]: pid {ev.get('pid')!r} has no "
+                          f"process_name metadata")
+    return errors
+
+
+def validate_chrome_trace_file(path: Union[str, Path]) -> List[str]:
+    """Validate a trace file on disk; returns the error list."""
+    try:
+        doc = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"cannot load {path}: {exc}"]
+    return validate_chrome_trace(doc)
+
+
+# -- snapshot-time collection ------------------------------------------------------
+def collect_cluster(registry: MetricsRegistry, cluster: Any) -> MetricsRegistry:
+    """Gather a cluster's public counters into registry gauges.
+
+    The hot paths keep their plain attribute counters (a per-block increment
+    must stay an attribute add); this collector turns them into labelled
+    gauges at export time, reading only public APIs — notably
+    :meth:`repro.core.gmemory.GMemoryManager.cache_stats` rather than the
+    private region table.
+    """
+    hdfs = getattr(cluster, "hdfs", None)
+    if hdfs is not None:
+        registry.gauge("hdfs.read.bytes").set(hdfs.total_bytes_read())
+        registry.gauge("hdfs.write.bytes").set(hdfs.total_bytes_written())
+    for worker in getattr(cluster, "workers", {}).values():
+        registry.gauge("tasks.executed", worker=worker.name).set(
+            worker.taskmanager.tasks_executed)
+    managers = getattr(cluster, "gpu_managers", lambda: [])()
+    for gm in managers:
+        for device in gm.devices:
+            labels = {"device": device.name}
+            registry.gauge("gpu.device.kernel_seconds", **labels).set(
+                device.kernel_seconds)
+            registry.gauge("gpu.device.kernels_launched", **labels).set(
+                device.kernels_launched)
+            registry.gauge("gpu.device.h2d_bytes", **labels).set(
+                device.h2d_bytes)
+            registry.gauge("gpu.device.d2h_bytes", **labels).set(
+                device.d2h_bytes)
+        for gid, stats in gm.gmm.cache_stats().items():
+            labels = {"device": gm.devices[gid].name}
+            registry.gauge("gpu.cache.hits", **labels).set(stats.hits)
+            registry.gauge("gpu.cache.misses", **labels).set(stats.misses)
+            registry.gauge("gpu.cache.evictions", **labels).set(
+                stats.evictions)
+            registry.gauge("gpu.cache.spills", **labels).set(stats.spills)
+            registry.gauge("gpu.cache.used_bytes", **labels).set(
+                stats.used_bytes)
+        sm = gm.gstream_manager
+        registry.gauge("gstream.works_submitted",
+                       worker=gm.worker_name).set(sm.works_submitted)
+        registry.gauge("gstream.works_completed",
+                       worker=gm.worker_name).set(sm.works_completed)
+    return registry

@@ -1,0 +1,248 @@
+"""Metrics registry: labelled counters, gauges and histograms.
+
+The registry is the export surface the ad-hoc per-object counters
+(``device.h2d_bytes``, cache hit fields, ``JobMetrics`` totals) feed into:
+hot paths either increment a registry metric directly (cheap: one dict
+lookup amortized by caching the returned object) or stay plain attributes
+that :func:`repro.obs.export.collect_cluster` gathers into gauges at
+snapshot time — the Prometheus collector pattern.
+
+Metric identity is ``(name, sorted labels)``; the flat rendering is
+``name{k=v,...}`` so snapshots diff cleanly across runs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigError
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "metric_key"]
+
+LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def metric_key(name: str, labels: Dict[str, Any]) -> Tuple[str, LabelItems]:
+    """Canonical identity of a metric: name plus sorted stringified labels."""
+    return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def render_key(name: str, labels: LabelItems) -> str:
+    """``name{k=v,...}`` — the flat-snapshot spelling of a metric."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    __slots__ = ("name", "labels", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, labels: LabelItems):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ConfigError(
+                f"counter {self.name} cannot decrease (inc {amount})")
+        self.value += amount
+
+    def snapshot_value(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value (set, not accumulated)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: LabelItems):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def snapshot_value(self) -> float:
+        return self.value
+
+
+class Histogram:
+    """Summary statistics of observed values (count/sum/min/max/buckets).
+
+    Buckets are cumulative upper bounds, Prometheus-style; the defaults span
+    the microsecond-to-kilosecond range the simulation produces.
+    """
+
+    __slots__ = ("name", "labels", "count", "total", "vmin", "vmax",
+                 "bounds", "bucket_counts")
+
+    kind = "histogram"
+
+    DEFAULT_BOUNDS = (1e-6, 1e-4, 1e-2, 1.0, 10.0, 100.0, 1000.0)
+
+    def __init__(self, name: str, labels: LabelItems,
+                 bounds: Optional[Tuple[float, ...]] = None):
+        self.name = name
+        self.labels = labels
+        self.count = 0
+        self.total = 0.0
+        self.vmin = float("inf")
+        self.vmax = float("-inf")
+        self.bounds = tuple(bounds) if bounds else self.DEFAULT_BOUNDS
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.vmin:
+            self.vmin = value
+        if value > self.vmax:
+            self.vmax = value
+        for i, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.bucket_counts[i] += 1
+                return
+        self.bucket_counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot_value(self) -> Dict[str, Any]:
+        if not self.count:
+            return {"count": 0, "sum": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.vmin,
+            "max": self.vmax,
+            "mean": self.mean,
+            "buckets": {
+                **{f"le_{b:g}": c
+                   for b, c in zip(self.bounds, self.bucket_counts)},
+                "le_inf": self.bucket_counts[-1],
+            },
+        }
+
+
+class _NullMetric:
+    """Shared no-op instrument handed out by a disabled registry.
+
+    Quacks like Counter, Gauge and Histogram so instrumentation call sites
+    stay unconditional; nothing is ever registered or stored.
+    """
+
+    __slots__ = ()
+
+    kind = "null"
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_METRIC = _NullMetric()
+
+
+class MetricsRegistry:
+    """Get-or-create registry of labelled metrics.
+
+    ``counter``/``gauge``/``histogram`` return the live metric object so hot
+    paths can hold it and skip the lookup.  Registering the same (name,
+    labels) with a different kind is an error — one name, one meaning.
+
+    A registry constructed with ``enabled=False`` hands out a shared no-op
+    instrument and records nothing — the metrics half of the zero-cost
+    guarantee for untraced runs.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._metrics: Dict[Tuple[str, LabelItems], Any] = {}
+
+    def _get_or_create(self, cls, name: str, labels: Dict[str, Any],
+                       **kwargs: Any):
+        if not self.enabled:
+            return _NULL_METRIC
+        key = metric_key(name, labels)
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(key[0], key[1], **kwargs)
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise ConfigError(
+                f"metric {render_key(*key)} already registered as "
+                f"{metric.kind}, requested {cls.kind}")
+        return metric
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(self, name: str,
+                  bounds: Optional[Tuple[float, ...]] = None,
+                  **labels: Any) -> Histogram:
+        if bounds is not None:
+            return self._get_or_create(Histogram, name, labels, bounds=bounds)
+        return self._get_or_create(Histogram, name, labels)
+
+    # -- introspection -----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def metrics(self) -> List[Any]:
+        """All registered metric objects, sorted by (name, labels)."""
+        return [self._metrics[k] for k in sorted(self._metrics)]
+
+    def value(self, name: str, **labels: Any) -> Any:
+        """Current value of one metric, or None if never registered."""
+        metric = self._metrics.get(metric_key(name, labels))
+        return None if metric is None else metric.snapshot_value()
+
+    def sum_values(self, name: str) -> float:
+        """Sum of a counter/gauge family's values across all label sets."""
+        return sum(m.value for key, m in self._metrics.items()
+                   if key[0] == name and not isinstance(m, Histogram))
+
+    # -- export ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, Any]:
+        """Flat ``name{labels} -> value`` mapping (histograms -> dicts)."""
+        return {render_key(m.name, m.labels): m.snapshot_value()
+                for m in self.metrics()}
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def render(self) -> str:
+        """Human-readable snapshot, one metric per line."""
+        lines = []
+        for m in self.metrics():
+            key = render_key(m.name, m.labels)
+            if isinstance(m, Histogram):
+                s = m.snapshot_value()
+                lines.append(f"{key:58s} count={s['count']} "
+                             f"sum={s.get('sum', 0.0):.6g} "
+                             f"mean={s.get('mean', 0.0):.6g}")
+            elif isinstance(m.value, float) and not m.value.is_integer():
+                lines.append(f"{key:58s} {m.value:.6g}")
+            else:
+                lines.append(f"{key:58s} {int(m.value)}")
+        return "\n".join(lines) if lines else "no metrics recorded"

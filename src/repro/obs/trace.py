@@ -1,0 +1,253 @@
+"""GTrace: structured tracing on the simulation clock.
+
+A :class:`Tracer` records *spans* (an interval of simulated time on a named
+track) and *instants* (a point marker) with string categories and free-form
+``args``.  Timestamps come straight off the simulation clock, so two runs of
+the same deterministic job produce byte-identical traces — traces are
+diffable artifacts, not samples.
+
+Tracks mirror Chrome's trace-event process/thread model: a *process* groups
+related *threads* (e.g. process ``worker0-gpu0`` with threads ``kernel``,
+``copy:h2d``, ``copy:d2h``), and the Perfetto UI renders one lane per
+thread.  That is what makes transfer/compute overlap visible: kernel spans
+and copy spans live on separate lanes of the same device process.
+
+Disabled tracers are free: :meth:`Tracer.span` returns a shared no-op
+context manager and :meth:`Tracer.instant` returns immediately — no events,
+no allocations that grow with the run, and (because tracing never touches
+the event heap) zero simulated-clock divergence either way.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, NamedTuple, Optional, Tuple
+
+__all__ = ["Track", "TraceEvent", "Tracer", "NULL_SPAN", "NULL_TRACK"]
+
+#: Multiplier from simulated seconds to the microseconds Chrome traces use.
+_US = 1e6
+
+
+class Track(NamedTuple):
+    """A (process, thread) lane pair — the address of a trace event."""
+
+    pid: int
+    tid: int
+
+
+class TraceEvent:
+    """One recorded occurrence: a complete span (``X``) or an instant (``i``).
+
+    ``ts``/``dur`` are in simulated *seconds* internally; the Chrome export
+    converts to microseconds.
+    """
+
+    __slots__ = ("name", "cat", "ph", "ts", "dur", "pid", "tid", "args")
+
+    def __init__(self, name: str, cat: str, ph: str, ts: float, dur: float,
+                 pid: int, tid: int, args: Optional[Dict[str, Any]]):
+        self.name = name
+        self.cat = cat
+        self.ph = ph
+        self.ts = ts
+        self.dur = dur
+        self.pid = pid
+        self.tid = tid
+        self.args = args
+
+    @property
+    def end(self) -> float:
+        """Span end time (== ``ts`` for instants)."""
+        return self.ts + self.dur
+
+    def overlaps(self, other: "TraceEvent") -> bool:
+        """True if two spans share any open interval of simulated time."""
+        return self.ts < other.end and other.ts < self.end
+
+    def to_chrome(self) -> Dict[str, Any]:
+        """This event as one Chrome trace-event JSON object."""
+        obj: Dict[str, Any] = {
+            "name": self.name, "cat": self.cat, "ph": self.ph,
+            "ts": self.ts * _US, "pid": self.pid, "tid": self.tid,
+            "args": dict(self.args) if self.args else {},
+        }
+        if self.ph == "X":
+            obj["dur"] = self.dur * _US
+        elif self.ph == "i":
+            obj["s"] = "t"  # instant scoped to its thread lane
+        return obj
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<TraceEvent {self.ph} {self.name!r} cat={self.cat} "
+                f"ts={self.ts:.6f} dur={self.dur:.6f}>")
+
+
+class _Span:
+    """Context manager recording one span; created by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "name", "cat", "track", "args", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str, cat: str, track: Track,
+                 args: Dict[str, Any]):
+        self._tracer = tracer
+        self.name = name
+        self.cat = cat
+        self.track = track
+        self.args = args
+        self._t0 = 0.0
+
+    def set(self, **kwargs: Any) -> "_Span":
+        """Attach/override args mid-span (e.g. byte counts known at exit)."""
+        self.args.update(kwargs)
+        return self
+
+    def __enter__(self) -> "_Span":
+        self._t0 = self._tracer.now()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self.args.setdefault("error", exc_type.__name__)
+        self._tracer._record(TraceEvent(
+            self.name, self.cat, "X", self._t0,
+            self._tracer.now() - self._t0,
+            self.track.pid, self.track.tid, self.args or None))
+        return False
+
+
+class _NullSpan:
+    """Shared no-op span for disabled tracers (zero-allocation fast path)."""
+
+    __slots__ = ()
+
+    def set(self, **kwargs: Any) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+#: Shared no-op span/track instances — also handed out by disabled tracers,
+#: and usable directly by call sites that may have no tracer at all.
+NULL_SPAN = _NULL_SPAN = _NullSpan()
+NULL_TRACK = _NULL_TRACK = Track(0, 0)
+
+
+class Tracer:
+    """Collects structured trace events against a simulation environment.
+
+    ``env`` only needs a ``now`` attribute (the sim clock); the tracer never
+    schedules events, so enabling it cannot perturb simulated time.
+    """
+
+    def __init__(self, env: Any, enabled: bool = False):
+        self.env = env
+        self.enabled = bool(enabled)
+        self.events: List[TraceEvent] = []
+        self._pids: Dict[str, int] = {}
+        self._tids: Dict[Tuple[int, str], int] = {}
+        self._process_names: List[Tuple[int, str]] = []
+        self._thread_names: List[Tuple[int, int, str]] = []
+
+    # -- clock ----------------------------------------------------------------
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self.env.now
+
+    # -- tracks ---------------------------------------------------------------
+    def track(self, process: str, thread: str) -> Track:
+        """The (pid, tid) lane for ``process``/``thread``, registered lazily.
+
+        Ids are handed out in first-use order, which is deterministic under
+        the sim clock — the same run always numbers tracks identically.
+        """
+        if not self.enabled:
+            return _NULL_TRACK
+        pid = self._pids.get(process)
+        if pid is None:
+            pid = len(self._pids) + 1
+            self._pids[process] = pid
+            self._process_names.append((pid, process))
+        tid_key = (pid, thread)
+        tid = self._tids.get(tid_key)
+        if tid is None:
+            tid = len(self._tids) + 1
+            self._tids[tid_key] = tid
+            self._thread_names.append((pid, tid, thread))
+        return Track(pid, tid)
+
+    # -- recording -------------------------------------------------------------
+    def span(self, name: str, cat: str, track: Track, **args: Any):
+        """A context manager recording ``name`` from enter to exit."""
+        if not self.enabled:
+            return _NULL_SPAN
+        return _Span(self, name, cat, track, args)
+
+    def complete(self, name: str, cat: str, track: Track, start: float,
+                 end: float, **args: Any) -> None:
+        """Record a span with explicit bounds (for intervals measured by the
+        model itself, e.g. a kernel's exclusive compute-engine occupancy)."""
+        if not self.enabled:
+            return
+        self._record(TraceEvent(name, cat, "X", start, max(end - start, 0.0),
+                                track.pid, track.tid, args or None))
+
+    def instant(self, name: str, cat: str, track: Track, **args: Any) -> None:
+        """Record a point marker at the current simulated time."""
+        if not self.enabled:
+            return
+        self._record(TraceEvent(name, cat, "i", self.env.now, 0.0,
+                                track.pid, track.tid, args or None))
+
+    def _record(self, event: TraceEvent) -> None:
+        self.events.append(event)
+
+    # -- introspection ----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def spans(self, cat: Optional[str] = None,
+              name: Optional[str] = None) -> List[TraceEvent]:
+        """Recorded spans, optionally filtered by category and/or name."""
+        return [e for e in self.events if e.ph == "X"
+                and (cat is None or e.cat == cat)
+                and (name is None or e.name == name)]
+
+    def instants(self, cat: Optional[str] = None,
+                 name: Optional[str] = None) -> List[TraceEvent]:
+        """Recorded instants, optionally filtered by category and/or name."""
+        return [e for e in self.events if e.ph == "i"
+                and (cat is None or e.cat == cat)
+                and (name is None or e.name == name)]
+
+    def track_names(self) -> Dict[str, List[str]]:
+        """Registered lanes: process name -> list of its thread names."""
+        out: Dict[str, List[str]] = {name: [] for _, name in
+                                     self._process_names}
+        by_pid = {pid: name for pid, name in self._process_names}
+        for pid, _tid, thread in self._thread_names:
+            out[by_pid[pid]].append(thread)
+        return out
+
+    # -- export -----------------------------------------------------------------
+    def chrome_events(self) -> List[Dict[str, Any]]:
+        """All events as Chrome trace-event objects (metadata first)."""
+        meta: List[Dict[str, Any]] = []
+        for pid, name in self._process_names:
+            meta.append({"name": "process_name", "ph": "M", "pid": pid,
+                         "tid": 0, "args": {"name": name}})
+        for pid, tid, name in self._thread_names:
+            meta.append({"name": "thread_name", "ph": "M", "pid": pid,
+                         "tid": tid, "args": {"name": name}})
+        return meta + [e.to_chrome() for e in self.events]
+
+    def to_chrome(self) -> Dict[str, Any]:
+        """The full Chrome JSON document (load in Perfetto / chrome://tracing)."""
+        return {
+            "traceEvents": self.chrome_events(),
+            "displayTimeUnit": "ms",
+            "otherData": {"clock": "simulated", "time_unit": "us"},
+        }

@@ -1,0 +1,48 @@
+"""Validate a Chrome trace JSON file against the event schema.
+
+Usage::
+
+    python -m repro.obs.validate trace.json [more.json ...]
+
+Exit status 0 when every file validates; 1 otherwise.  CI runs this over
+the traced bench smoke's artifact (see ``scripts/ci.sh``).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.obs.export import validate_chrome_trace_file
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    out = out or sys.stdout
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv:
+        print("usage: python -m repro.obs.validate <trace.json> ...",
+              file=out)
+        return 2
+    failed = False
+    for arg in argv:
+        errors = validate_chrome_trace_file(arg)
+        if errors:
+            failed = True
+            print(f"{arg}: INVALID", file=out)
+            for err in errors[:20]:
+                print(f"  {err}", file=out)
+            if len(errors) > 20:
+                print(f"  ... and {len(errors) - 20} more", file=out)
+        else:
+            try:
+                n = len(json.loads(Path(arg).read_text())["traceEvents"])
+            except Exception:  # pragma: no cover - validated above
+                n = 0
+            print(f"{arg}: OK ({n} events)", file=out)
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -34,6 +34,16 @@ class TestGpuReport:
         # Second run hit the cache: a non-n/a hit percentage appears.
         assert "%" in text.splitlines()[1] or "%" in text
 
+        # The report reads cache state through the public API only.
+        gm = cluster.gpu_managers()[0]
+        assert len(gm.gmm.apps()) == 1
+        stats = gm.gmm.cache_stats()
+        assert set(stats) == {d.index for d in gm.devices}
+        total_probes = sum(s.probes for s in stats.values())
+        assert total_probes > 0
+        assert any(s.hit_rate is not None and s.hit_rate > 0
+                   for s in stats.values())
+
     def test_report_without_gpus(self):
         cluster = GFlinkCluster(ClusterConfig(n_workers=1))
         assert gpu_report(cluster) == "no GPUs in this cluster"

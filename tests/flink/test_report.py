@@ -1,7 +1,8 @@
 """Tests for the reporting helpers (timeline / breakdown / summary)."""
 
 from repro.flink import FlinkSession, OpCost
-from repro.flink.report import breakdown, session_summary, timeline
+from repro.flink.report import breakdown, metrics_summary, session_summary, \
+    timeline
 from tests.flink.conftest import make_cluster
 
 
@@ -66,3 +67,18 @@ class TestSessionSummary:
 
     def test_empty_history(self):
         assert session_summary([]) == "no jobs run"
+
+
+class TestMetricsSummary:
+    def test_renders_job_counters(self):
+        cluster = make_cluster(enable_tracing=True)
+        session = FlinkSession(cluster)
+        run_job(session)
+        text = metrics_summary(cluster.obs.registry)
+        assert "jobs.completed" in text
+        assert "job.subtasks{job=report-demo}" in text
+        assert "job.makespan_s" in text
+
+    def test_untraced_cluster_records_nothing(self, cluster, session):
+        run_job(session)
+        assert metrics_summary(cluster.obs.registry) == "no metrics recorded"

@@ -1,0 +1,122 @@
+"""Exporter tests: Chrome-JSON schema validation, file writers, collector."""
+
+import json
+
+import numpy as np
+
+from repro.core import GFlinkCluster, GFlinkSession
+from repro.flink import ClusterConfig, CPUSpec, FlinkConfig
+from repro.gpu import KernelSpec
+from repro.obs.export import (
+    collect_cluster,
+    validate_chrome_trace,
+    validate_chrome_trace_file,
+    write_chrome_trace,
+    write_metrics,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+from repro.obs.validate import main as validate_main
+
+
+class Clock:
+    now = 1.0
+
+
+def small_trace() -> Tracer:
+    tracer = Tracer(Clock(), enabled=True)
+    with tracer.span("s", "task", tracer.track("worker0", "slot0")):
+        pass
+    tracer.instant("i", "fault", tracer.track("worker0", "slot0"))
+    return tracer
+
+
+class TestSchemaValidation:
+    def test_valid_document_passes(self):
+        assert validate_chrome_trace(small_trace().to_chrome()) == []
+
+    def test_root_must_be_object_with_trace_events(self):
+        assert validate_chrome_trace([]) == \
+            ["document root must be an object"]
+        assert validate_chrome_trace({}) == \
+            ["document must contain a traceEvents array"]
+
+    def test_rejects_unknown_phase(self):
+        doc = small_trace().to_chrome()
+        doc["traceEvents"][2]["ph"] = "B"
+        assert any("ph must be one of" in e
+                   for e in validate_chrome_trace(doc))
+
+    def test_rejects_negative_ts_and_dur(self):
+        doc = small_trace().to_chrome()
+        doc["traceEvents"][2]["ts"] = -1
+        doc["traceEvents"][2]["dur"] = -2
+        errors = validate_chrome_trace(doc)
+        assert any("ts must be" in e for e in errors)
+        assert any("non-negative dur" in e for e in errors)
+
+    def test_rejects_event_on_unnamed_process(self):
+        doc = small_trace().to_chrome()
+        doc["traceEvents"] = [e for e in doc["traceEvents"]
+                              if e.get("ph") != "M"]
+        assert any("no process_name metadata" in e
+                   for e in validate_chrome_trace(doc))
+
+    def test_rejects_bad_instant_scope_and_metadata(self):
+        doc = small_trace().to_chrome()
+        doc["traceEvents"][3]["s"] = "q"
+        doc["traceEvents"][0]["args"] = {}
+        errors = validate_chrome_trace(doc)
+        assert any("s must be t/p/g" in e for e in errors)
+        assert any("args.name must be a string" in e for e in errors)
+
+
+class TestWriters:
+    def test_trace_roundtrip(self, tmp_path):
+        path = tmp_path / "nested" / "trace.json"
+        write_chrome_trace(small_trace(), path)
+        assert validate_chrome_trace_file(path) == []
+
+    def test_metrics_roundtrip(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("hits", device="d0").inc(3)
+        path = write_metrics(reg, tmp_path / "metrics.json")
+        assert json.loads(path.read_text())["hits{device=d0}"] == 3.0
+
+    def test_validate_file_reports_unreadable(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        assert any("cannot load" in e
+                   for e in validate_chrome_trace_file(bad))
+
+    def test_validate_cli(self, tmp_path, capsys):
+        good = tmp_path / "good.json"
+        write_chrome_trace(small_trace(), good)
+        assert validate_main([str(good)]) == 0
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"traceEvents": [{"ph": "Z"}]}))
+        assert validate_main([str(bad)]) == 1
+
+
+class TestCollectCluster:
+    def test_gathers_public_counters_as_gauges(self):
+        cluster = GFlinkCluster(ClusterConfig(
+            n_workers=1, cpu=CPUSpec(cores=2), gpus_per_worker=("c2050",),
+            flink=FlinkConfig(enable_tracing=True)))
+        session = GFlinkSession(cluster)
+        session.register_kernel(KernelSpec(
+            "double", lambda i, p: {"out": i["in"] * 2.0},
+            flops_per_element=2.0))
+        data = np.arange(1000, dtype=np.float64)
+        ds = session.from_collection(data, element_nbytes=8,
+                                     parallelism=2).persist()
+        ds.materialize()
+        ds.gpu_map_partition("double", cache=True,
+                             cache_key_base="r").count()
+        reg = collect_cluster(cluster.obs.registry, cluster)
+        device = cluster.gpu_managers()[0].devices[0].name
+        assert reg.value("gpu.device.kernel_seconds", device=device) > 0
+        assert reg.value("tasks.executed", worker="worker0") > 0
+        assert reg.value("gstream.works_submitted", worker="worker0") >= 1
+        # Cache gauges come from the public cache_stats() API.
+        assert reg.value("gpu.cache.used_bytes", device=device) is not None

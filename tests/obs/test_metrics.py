@@ -1,0 +1,120 @@
+"""MetricsRegistry unit tests: counters, gauges, histograms, snapshots."""
+
+import json
+
+import pytest
+
+from repro.common.errors import ConfigError
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    metric_key,
+    render_key,
+)
+
+
+class TestIdentity:
+    def test_key_sorts_and_stringifies_labels(self):
+        k1 = metric_key("m", {"b": 2, "a": "x"})
+        k2 = metric_key("m", {"a": "x", "b": "2"})
+        assert k1 == k2
+
+    def test_render_key(self):
+        name, labels = metric_key("reads", {"node": "w0", "kind": "local"})
+        assert render_key(name, labels) == "reads{kind=local,node=w0}"
+        assert render_key("bare", ()) == "bare"
+
+    def test_get_or_create_returns_same_object(self):
+        reg = MetricsRegistry()
+        c1 = reg.counter("hits", device="d0")
+        c2 = reg.counter("hits", device="d0")
+        assert c1 is c2
+        assert reg.counter("hits", device="d1") is not c1
+        assert len(reg) == 2
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("m", a=1)
+        with pytest.raises(ConfigError, match="already registered"):
+            reg.gauge("m", a=1)
+
+
+class TestCounterGauge:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("n")
+        c.inc()
+        c.inc(2.5)
+        assert reg.value("n") == 3.5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ConfigError, match="cannot decrease"):
+            MetricsRegistry().counter("n").inc(-1)
+
+    def test_gauge_sets(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("temp", node="w0")
+        g.set(10)
+        g.set(4)
+        assert reg.value("temp", node="w0") == 4.0
+
+    def test_sum_values_across_labels(self):
+        reg = MetricsRegistry()
+        reg.counter("reads", locality="local").inc(3)
+        reg.counter("reads", locality="remote").inc(4)
+        assert reg.sum_values("reads") == 7.0
+
+    def test_value_unknown_metric_is_none(self):
+        assert MetricsRegistry().value("nope") is None
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        h = Histogram("t", ())
+        for v in (0.5, 1.5, 2.0):
+            h.observe(v)
+        snap = h.snapshot_value()
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(4.0)
+        assert snap["min"] == 0.5
+        assert snap["max"] == 2.0
+        assert snap["mean"] == pytest.approx(4.0 / 3)
+
+    def test_cumulative_buckets(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", bounds=(1.0, 10.0))
+        for v in (0.5, 5.0, 100.0):
+            h.observe(v)
+        buckets = h.snapshot_value()["buckets"]
+        assert buckets == {"le_1": 1, "le_10": 1, "le_inf": 1}
+
+    def test_empty_histogram_snapshot(self):
+        assert Histogram("t", ()).snapshot_value() == {"count": 0,
+                                                       "sum": 0.0}
+
+
+class TestExportSurface:
+    def test_snapshot_and_json_roundtrip(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", device="d0").inc(2)
+        reg.gauge("used").set(10)
+        reg.histogram("lat").observe(0.5)
+        doc = json.loads(reg.to_json())
+        assert doc["hits{device=d0}"] == 2.0
+        assert doc["used"] == 10.0
+        assert doc["lat"]["count"] == 1
+
+    def test_render_lines(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", device="d0").inc(2)
+        reg.histogram("lat").observe(1.0)
+        text = reg.render()
+        assert "hits{device=d0}" in text
+        assert "count=1" in text
+        assert MetricsRegistry().render() == "no metrics recorded"
+
+    def test_metrics_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("z")
+        reg.counter("a")
+        assert [m.name for m in reg.metrics()] == ["a", "z"]

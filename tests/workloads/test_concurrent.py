@@ -88,7 +88,7 @@ class TestRunConcurrent:
                               seed=11), "gpu")]
         run_concurrent(cluster, apps)
         for gm in cluster.gpu_managers():
-            apps_with_regions = {key[0] for key in gm.gmm._regions}
+            apps_with_regions = set(gm.gmm.apps())
             # Each app cached under its own app id.
             assert len(apps_with_regions) >= 1
             for app in apps_with_regions:
