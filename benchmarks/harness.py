@@ -35,21 +35,24 @@ from repro.workloads.base import WorkloadResult
 BENCH_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR1.json"
 
 
-def record_bench(name: str, payload: dict) -> None:
-    """Merge one bench's summary into the consolidated results file.
+def record_bench(name: str, payload: dict,
+                 path: Optional[Path] = None) -> None:
+    """Merge one bench's summary into a consolidated results file.
 
     Load-merge-write keeps entries from the other benches of the same run;
-    a fresh run simply overwrites stale entries name by name.
+    a fresh run simply overwrites stale entries name by name.  ``path``
+    defaults to this PR suite's :data:`BENCH_RESULTS_PATH`; later suites
+    (e.g. ``bench_resilience``) pass their own consolidated file.
     """
+    path = path or BENCH_RESULTS_PATH
     results: Dict[str, dict] = {}
-    if BENCH_RESULTS_PATH.exists():
+    if path.exists():
         try:
-            results = json.loads(BENCH_RESULTS_PATH.read_text())
+            results = json.loads(path.read_text())
         except (json.JSONDecodeError, OSError):
             results = {}
     results[name] = payload
-    BENCH_RESULTS_PATH.write_text(json.dumps(results, indent=2,
-                                             sort_keys=True) + "\n")
+    path.write_text(json.dumps(results, indent=2, sort_keys=True) + "\n")
 
 #: The paper's testbed: 10 slaves, each an i5-4590 (4 cores @3.3 GHz) with
 #: two Tesla C2050 GPUs (§6.1, §6.5).

@@ -32,6 +32,14 @@ if [[ "${1:-}" != "--fast" ]]; then
         --metrics-out traces/ci_wordcount_metrics.json
     python -m repro.obs.validate traces/ci_wordcount.json
 
+    echo "== chaos smoke: wordcount survives worker kill + GPU fault =="
+    # Exits non-zero unless the faulted run's result is identical to the
+    # fault-free run's; the trace must also pass schema validation.
+    python -m repro chaos wordcount --mode gpu --workers 4 --real 4000 \
+        --kill worker1@150 --gpu-fail worker0:0@10 --backoff 0.05 \
+        --out traces/ci_chaos_wordcount.json
+    python -m repro.obs.validate traces/ci_chaos_wordcount.json
+
     echo "== bench smoke: GPU chaining ablation + cache policies =="
     python -m pytest -q \
         benchmarks/bench_ablation_gpu_chaining.py \

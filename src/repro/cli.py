@@ -7,6 +7,7 @@ Examples::
     python -m repro run spmv --mode both --nominal 1e7
     python -m repro trace wordcount --out traces/wordcount.json
     python -m repro metrics kmeans --mode gpu
+    python -m repro chaos wordcount --kill worker1@40 --gpu-fail worker0:0@10
     python -m repro specs
 """
 
@@ -87,6 +88,42 @@ def build_parser() -> argparse.ArgumentParser:
     _add_run_options(metrics, single_mode=True)
     metrics.add_argument("--out", default=None,
                          help="write JSON here instead of printing text")
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="run one workload under a fault schedule, verify the result "
+             "against a fault-free run, print a resilience report")
+    _add_run_options(chaos, single_mode=True)
+    chaos.add_argument("--kill", action="append", default=[],
+                       metavar="WORKER@T",
+                       help="kill WORKER at simulated time T "
+                            "(e.g. worker1@40)")
+    chaos.add_argument("--gpu-fail", action="append", default=[],
+                       metavar="WORKER[:DEV]@T[:KIND]",
+                       help="fault a GPU at time T; KIND is gpu-ecc "
+                            "(default), gpu-oom or gpu-hang")
+    chaos.add_argument("--pcie-fault", action="append", default=[],
+                       metavar="WORKER[:DEV]@T[:KIND]",
+                       help="fault a PCIe transfer at time T; KIND is "
+                            "pcie-corrupt (default) or pcie-timeout")
+    chaos.add_argument("--chaos-seed", type=int, default=None,
+                       help="seed for the random fault schedule "
+                            "(default: the run seed)")
+    chaos.add_argument("--duration", type=float, default=120.0,
+                       help="random-fault window in simulated seconds")
+    chaos.add_argument("--worker-kill-rate", type=float, default=0.0,
+                       help="random worker kills per simulated second")
+    chaos.add_argument("--gpu-fault-rate", type=float, default=0.0,
+                       help="random GPU faults per simulated second")
+    chaos.add_argument("--pcie-fault-rate", type=float, default=0.0,
+                       help="random PCIe faults per simulated second")
+    chaos.add_argument("--backoff", type=float, default=0.05,
+                       help="retry back-off base seconds (0 disables)")
+    chaos.add_argument("--no-cpu-fallback", action="store_true",
+                       help="fail GPU operators instead of degrading to CPU "
+                            "when every device is blacklisted")
+    chaos.add_argument("--out", default=None,
+                       help="also write the chaos run's Chrome trace here")
 
     sub.add_parser("list", help="list available workloads")
     sub.add_parser("specs", help="show the GPU spec catalog")
@@ -175,6 +212,116 @@ def _cmd_metrics(args, out) -> int:
     return 0
 
 
+def _parse_kill(spec: str):
+    """``WORKER@T`` → (worker, at)."""
+    worker, sep, at = spec.partition("@")
+    if not sep or not worker:
+        raise SystemExit(f"bad --kill spec {spec!r}: expected WORKER@T")
+    return worker, float(at)
+
+
+def _parse_device_fault(spec: str, default_kind, allowed):
+    """``WORKER[:DEV]@T[:KIND]`` → (worker, device, at, kind)."""
+    from repro.flink.chaos import FaultKind
+    loc, sep, rest = spec.partition("@")
+    if not sep or not loc:
+        raise SystemExit(f"bad fault spec {spec!r}: "
+                         f"expected WORKER[:DEV]@T[:KIND]")
+    worker, _, dev = loc.partition(":")
+    at, _, kind_name = rest.partition(":")
+    kind = FaultKind(kind_name) if kind_name else default_kind
+    if kind not in allowed:
+        raise SystemExit(f"bad fault spec {spec!r}: {kind.value} is not "
+                         f"valid here")
+    return worker, int(dev) if dev else 0, float(at), kind
+
+
+def _build_schedule(args, worker_names, n_gpus):
+    from repro.flink.chaos import (
+        ChaosSchedule, FaultKind, GPU_FAULT_KINDS, PCIE_FAULT_KINDS)
+    schedule = ChaosSchedule()
+    known = set(worker_names)
+
+    def check_worker(worker, spec):
+        if worker not in known:
+            raise SystemExit(f"unknown worker in {spec!r} "
+                             f"(workers: worker0..worker{len(known) - 1})")
+
+    for spec in args.kill:
+        worker, at = _parse_kill(spec)
+        check_worker(worker, spec)
+        schedule.kill_worker(worker, at=at)
+    for spec in args.gpu_fail:
+        worker, dev, at, kind = _parse_device_fault(
+            spec, FaultKind.GPU_ECC, GPU_FAULT_KINDS)
+        check_worker(worker, spec)
+        schedule.fail_gpu(worker, dev, at=at, kind=kind)
+    for spec in args.pcie_fault:
+        worker, dev, at, kind = _parse_device_fault(
+            spec, FaultKind.PCIE_CORRUPT, PCIE_FAULT_KINDS)
+        check_worker(worker, spec)
+        schedule.fault_pcie(worker, dev, at=at, kind=kind)
+    if (args.worker_kill_rate > 0 or args.gpu_fault_rate > 0
+            or args.pcie_fault_rate > 0):
+        from repro.common.rng import DEFAULT_SEED
+        seed = args.chaos_seed if args.chaos_seed is not None else \
+            (args.seed if args.seed is not None else DEFAULT_SEED)
+        drawn = ChaosSchedule.random(
+            seed=seed, duration_s=args.duration, workers=worker_names,
+            gpus_per_worker=n_gpus,
+            worker_kill_rate=args.worker_kill_rate,
+            gpu_fault_rate=args.gpu_fault_rate,
+            pcie_fault_rate=args.pcie_fault_rate)
+        for event in drawn.events:
+            schedule.add(event)
+    return schedule
+
+
+def _cmd_chaos(args, out) -> int:
+    from repro.core.gpumanager import GPUManagerConfig
+    from repro.flink.chaos import values_equal
+    from repro.flink.report import resilience_report
+
+    gpus = tuple(g for g in args.gpus.split(",") if g)
+    gpu_config = GPUManagerConfig(cpu_fallback=not args.no_cpu_fallback)
+
+    def run_once(tracing, schedule=None):
+        config = ClusterConfig(
+            n_workers=args.workers, cpu=CPUSpec(), gpus_per_worker=gpus,
+            flink=FlinkConfig(enable_tracing=tracing,
+                              retry_backoff_base_s=args.backoff))
+        cluster = GFlinkCluster(config, gpu_config=gpu_config)
+        engine = cluster.install_chaos(schedule) if schedule else None
+        workload = _make_workload(args.workload, args)
+        result = workload.run(GFlinkSession(cluster), args.mode)
+        return cluster, engine, result
+
+    schedule = _build_schedule(
+        args, ClusterConfig(n_workers=args.workers).worker_names(),
+        len(gpus) if args.mode == "gpu" else 0)
+    if not len(schedule):
+        print("empty fault schedule: pass --kill/--gpu-fail/--pcie-fault "
+              "or a nonzero --*-rate", file=out)
+        return 2
+
+    _, _, baseline = run_once(tracing=False)
+    cluster, engine, result = run_once(tracing=True, schedule=schedule)
+    collect_cluster(cluster.obs.registry, cluster)
+
+    print(f"workload={args.workload} mode={args.mode} "
+          f"workers={args.workers} faults={len(schedule)}", file=out)
+    print(resilience_report(engine, result, baseline,
+                            cluster.obs.registry), file=out)
+    if args.out:
+        write_chrome_trace(cluster.obs.tracer, args.out)
+        print(f"trace: {args.out}", file=out)
+    if values_equal(baseline.value, result.value):
+        print("result: identical to the fault-free run", file=out)
+        return 0
+    print("result: MISMATCH vs the fault-free run", file=out)
+    return 1
+
+
 def _cmd_list(out) -> int:
     print("available workloads (paper Table 1):", file=out)
     for name, (cls, nominal, size_param) in sorted(WORKLOADS.items()):
@@ -205,6 +352,8 @@ def main(argv: Optional[list] = None, out=None) -> int:
         return _cmd_trace(args, out)
     if args.command == "metrics":
         return _cmd_metrics(args, out)
+    if args.command == "chaos":
+        return _cmd_chaos(args, out)
     if args.command == "list":
         return _cmd_list(out)
     if args.command == "specs":

@@ -48,5 +48,19 @@ class KernelError(ReproError):
     """A GPU kernel launch or execution failed (bad name, bad launch config)."""
 
 
+class DeviceFaultError(ReproError):
+    """A GPU device fault (ECC error, device OOM, hang timeout, PCIe fault).
+
+    Unlike :class:`KernelError` (a deterministic programming error), a device
+    fault is an environmental failure: the JobManager retries the subtask and
+    the GPUManager counts the fault toward the device's blacklist threshold.
+    """
+
+    def __init__(self, kind: str, device: str):
+        super().__init__(f"device fault on {device}: {kind}")
+        self.kind = kind
+        self.device = device
+
+
 class LayoutError(ReproError):
     """A GStruct definition or buffer layout is invalid."""

@@ -21,6 +21,7 @@ import numpy as np
 
 from repro.common.errors import ConfigError, KernelError
 from repro.core.channels import CommMode
+from repro.core.gstream import _assemble
 from repro.core.gstruct import DataLayout
 from repro.flink.fault import TaskFailure
 from repro.core.gwork import GWork, KernelStage
@@ -54,6 +55,65 @@ def _submit_gwork(op_name: str, ctx, gpumanager, work: GWork):
         for kernel_name, seconds in work.stage_seconds.items():
             totals[kernel_name] = totals.get(kernel_name, 0.0) + seconds
     return out_hbuf
+
+
+def _check_degraded(op_name: str, ctx, gpumanager) -> bool:
+    """True when this subtask must run its kernels on the CPU.
+
+    Every device of the worker is blacklisted: with ``cpu_fallback`` on the
+    subtask degrades gracefully; otherwise it fails as a (retryable) task
+    failure — a re-placed attempt may land on a worker with healthy GPUs.
+    """
+    if gpumanager.gpu_available():
+        return False
+    if not gpumanager.config.cpu_fallback:
+        raise TaskFailure(op_name, ctx.subtask_index, attempt=-1,
+                          cause="all GPU devices blacklisted")
+    return True
+
+
+def _cpu_fallback(op_name: str, ctx, gpumanager, part: Partition,
+                  stage_specs: List[tuple]):
+    """Execute a kernel chain on the CPU (GPU→CPU graceful degradation).
+
+    Kernels are functional (``fn(inputs, params) -> {"out": ...}``), so the
+    *same* function runs on the host — over the same page-sized blocks the
+    GPU pipeline would use, so reduce-style kernels emit identical per-block
+    partials and results match the fault-free run bit for bit.  Time is
+    charged through the CPU iterator cost model at the kernel's per-element
+    FLOPs.  ``stage_specs`` is ``[(kernel_name, params, extra_arrays), ...]``.
+    """
+    registry = gpumanager.runtime.registry
+    primary = HBuffer(part.elements, part.element_nbytes, scale=part.scale)
+    blocks = primary.split_blocks(gpumanager.config.block_nbytes)
+    results: Dict[int, Any] = {}
+    for blk in blocks:
+        cur = blk.elements
+        for kernel_name, params, extras in stage_specs:
+            spec = registry.get(kernel_name)
+            in_arrays = {"in": cur}
+            in_arrays.update(extras)
+            out = spec.fn(in_arrays, dict(params))
+            if "out" not in out:
+                raise ConfigError(
+                    f"kernel {kernel_name!r} produced no 'out'")
+            cur = out["out"]
+        results[blk.index] = cur
+    for kernel_name, params, extras in stage_specs:
+        spec = registry.get(kernel_name)
+        yield from ctx.charge_compute(part.nominal_count,
+                                      spec.flops_per_element)
+    metrics = ctx.metrics
+    if hasattr(metrics, "fallback_tasks"):
+        metrics.fallback_tasks += 1
+    obs = getattr(getattr(ctx, "cluster", None), "obs", None)
+    if obs is not None:
+        tracer = obs.tracer
+        tracer.instant("task.cpu_fallback", "fault",
+                       tracer.track(ctx.worker.name, "fallback"),
+                       op=op_name, subtask=ctx.subtask_index)
+        obs.registry.counter("fallback.cpu_tasks", op=op_name).inc()
+    return _assemble(results)
 
 
 class GpuMapPartitionOp(Operator):
@@ -106,9 +166,20 @@ class GpuMapPartitionOp(Operator):
             return Partition(index=ctx.subtask_index, elements=[],
                              element_nbytes=self.out_element_nbytes(part),
                              scale=part.scale, worker=ctx.worker.name)
-        work = self._build_gwork(ctx, part)
-        out_hbuf = yield from _submit_gwork(self.name, ctx, gpumanager, work)
-        out_elements = out_hbuf.elements
+        if _check_degraded(self.name, ctx, gpumanager):
+            params = dict(self.params)
+            if self.params_fn is not None:
+                params.update(self.params_fn())
+            extras = {name: extra.supplier()
+                      for name, extra in self.extra_inputs.items()}
+            out_elements = yield from _cpu_fallback(
+                self.name, ctx, gpumanager, part,
+                [(self.kernel_name, params, extras)])
+        else:
+            work = self._build_gwork(ctx, part)
+            out_hbuf = yield from _submit_gwork(self.name, ctx, gpumanager,
+                                                work)
+            out_elements = out_hbuf.elements
         out_real = real_len(out_elements)
         scale = self._output_scale(part, out_real)
         return Partition(index=ctx.subtask_index, elements=out_elements,
@@ -217,9 +288,22 @@ class FusedGpuOp(Operator):
             return Partition(index=ctx.subtask_index, elements=[],
                              element_nbytes=self.out_element_nbytes(part),
                              scale=part.scale, worker=ctx.worker.name)
-        work = self._build_gwork(ctx, part)
-        out_hbuf = yield from _submit_gwork(self.name, ctx, gpumanager, work)
-        out_elements = out_hbuf.elements
+        if _check_degraded(self.name, ctx, gpumanager):
+            stage_specs = []
+            for op in self.stages:
+                params = dict(op.params)
+                if op.params_fn is not None:
+                    params.update(op.params_fn())
+                extras = {name: extra.supplier()
+                          for name, extra in op.extra_inputs.items()}
+                stage_specs.append((op.kernel_name, params, extras))
+            out_elements = yield from _cpu_fallback(
+                self.name, ctx, gpumanager, part, stage_specs)
+        else:
+            work = self._build_gwork(ctx, part)
+            out_hbuf = yield from _submit_gwork(self.name, ctx, gpumanager,
+                                                work)
+            out_elements = out_hbuf.elements
         out_real = real_len(out_elements)
         scale = self._output_scale(part, out_real)
         return Partition(index=ctx.subtask_index, elements=out_elements,
@@ -352,6 +436,16 @@ class GpuJoinOp(Operator):
             return Partition(index=ctx.subtask_index, elements=[],
                              element_nbytes=self.out_element_nbytes(left),
                              scale=1.0, worker=ctx.worker.name)
+        if _check_degraded(self.name, ctx, gpumanager):
+            out_elements = yield from _cpu_fallback(
+                self.name, ctx, gpumanager,
+                left.derive(_as_array(left.elements)),
+                [(self.kernel_name, dict(self.params),
+                  {"right": _as_array(right.elements)})])
+            scale = max(left.scale, right.scale)
+            return Partition(index=ctx.subtask_index, elements=out_elements,
+                             element_nbytes=self.out_element_nbytes(left),
+                             scale=scale, worker=ctx.worker.name)
         primary = HBuffer(_as_array(left.elements), left.element_nbytes,
                           scale=left.scale, off_heap=True, pinned=True)
         build_side = HBuffer(_as_array(right.elements),

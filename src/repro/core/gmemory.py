@@ -242,6 +242,16 @@ class GMemoryManager:
     def has_region(self, app_id: str, device_index: int) -> bool:
         return (app_id, device_index) in self._regions
 
+    def invalidate_device(self, device_index: int) -> None:
+        """Drop every application's cache region on one device.
+
+        Called when a device is blacklisted after faults: its cached blocks
+        are unreachable and must stop attracting locality-aware scheduling
+        (``locality_gid`` never returns a device with no regions).
+        """
+        for key in [k for k in self._regions if k[1] == device_index]:
+            self._regions.pop(key).release()
+
     # -- Algorithm 5.1, step 1 ---------------------------------------------------
     def locality_gid(self, work: GWork,
                      keys: List[Hashable]) -> Optional[int]:

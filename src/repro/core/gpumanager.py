@@ -14,9 +14,11 @@ TaskManager to accomplish the tasks assigned to GPUs."  It owns:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Deque, Dict, List, Optional, Sequence, Set
 
+from repro.common.errors import DeviceFaultError
 from repro.common.simclock import Environment, Event
 from repro.core.channels import CommCosts, CUDAWrapper
 from repro.core.gmemory import EvictionPolicy, GMemoryManager
@@ -42,6 +44,15 @@ class GPUManagerConfig:
     block_nbytes: int = 8 * (1 << 20)         # pipeline block ("page") size
     comm_costs: CommCosts = CommCosts()
     locality_aware: bool = True               # Algorithm 5.1's GID step
+    #: Device faults (ECC / OOM / hang / PCIe) before a device is taken out
+    #: of service.  An uncorrectable ECC error blacklists immediately.
+    blacklist_threshold: int = 3
+    #: With every device of a worker blacklisted, GPU operators degrade to
+    #: CPU execution of the same kernel function instead of failing the job.
+    cpu_fallback: bool = True
+    #: Simulated time charged before a hang / stalled-transfer fault is
+    #: detected (the driver watchdog window).
+    fault_timeout_s: float = 2.0
 
     def resolved_policy(self) -> EvictionPolicy:
         if self.cache_policy is None:
@@ -77,6 +88,14 @@ class GPUManager:
             block_nbytes=self.config.block_nbytes,
             locality_aware=self.config.locality_aware,
             obs=obs)
+        # Failure-domain state: injected faults waiting to hit the next GWork
+        # on a device, per-device fault counts, and the blacklist.
+        self.gstream_manager.faults = self
+        self.device_failures: Dict[int, int] = {
+            i: 0 for i in range(len(self.devices))}
+        self.blacklisted: Set[int] = set()
+        self._pending_faults: Dict[int, Deque[str]] = {
+            i: deque() for i in range(len(self.devices))}
 
     # -- the TaskManager-facing API ------------------------------------------------
     def submit(self, work: GWork) -> Event:
@@ -86,6 +105,70 @@ class GPUManager:
     def release_app(self, app_id: str) -> None:
         """Drop an application's GPU cache regions (job/application end)."""
         self.gmm.release_app(app_id)
+
+    # -- failure domains ------------------------------------------------------------
+    def inject_device_fault(self, device_index: int, kind) -> None:
+        """Queue a fault against a device (chaos engine / tests).
+
+        ``kind`` is a :class:`repro.flink.chaos.FaultKind` or its string
+        value.  An uncorrectable ECC error kills the device outright; the
+        transient kinds hit the next GWork executing there (which fails,
+        counts toward the blacklist threshold, and is retried elsewhere).
+        """
+        kind = getattr(kind, "value", kind)
+        if device_index not in self._pending_faults:
+            raise ValueError(f"no GPU {device_index} on {self.worker_name}")
+        self._pending_faults[device_index].append(kind)
+        if kind == "gpu-ecc":
+            self._blacklist(device_index, cause=kind)
+
+    def consume_fault(self, device_index: int) -> Optional[str]:
+        """Pop the oldest pending fault for a device (stream-side hook)."""
+        pending = self._pending_faults.get(device_index)
+        if pending:
+            return pending.popleft()
+        return None
+
+    def record_device_failure(self, device_index: int,
+                              exc: BaseException) -> None:
+        """Count a failed GWork toward the device's blacklist threshold.
+
+        Only :class:`~repro.common.errors.DeviceFaultError` counts —
+        programming errors (bad kernels) and resource exhaustion are not
+        evidence of broken hardware.
+        """
+        if not isinstance(exc, DeviceFaultError):
+            return
+        self.device_failures[device_index] += 1
+        if self.device_failures[device_index] >= \
+                self.config.blacklist_threshold:
+            self._blacklist(device_index, cause=exc.kind)
+
+    def _blacklist(self, device_index: int, cause: str) -> None:
+        if device_index in self.blacklisted:
+            return
+        self.blacklisted.add(device_index)
+        # Its cached blocks are unreachable: invalidate so locality-aware
+        # scheduling stops steering work at the dead device.
+        self.gmm.invalidate_device(device_index)
+        self.gstream_manager.mark_blacklisted(device_index)
+        if self.obs is not None:
+            device = self.devices[device_index]
+            tracer = self.obs.tracer
+            tracer.instant("device.blacklisted", "fault",
+                           tracer.track(device.name, "sched"),
+                           device=device.name, cause=cause)
+            self.obs.registry.counter("device.blacklisted",
+                                      device=device.name).inc()
+
+    def healthy_device_indices(self) -> List[int]:
+        """Indices of in-service (non-blacklisted) devices."""
+        return [i for i in range(len(self.devices))
+                if i not in self.blacklisted]
+
+    def gpu_available(self) -> bool:
+        """True while at least one device remains in service."""
+        return bool(self.healthy_device_indices())
 
     # -- metrics ------------------------------------------------------------------
     def kernel_seconds(self) -> float:

@@ -22,7 +22,7 @@ from typing import Deque, Dict, Generator, Hashable, List, Optional
 
 import numpy as np
 
-from repro.common.errors import ConfigError, InterruptError
+from repro.common.errors import ConfigError, DeviceFaultError, InterruptError
 from repro.common.resources import Store
 from repro.common.simclock import Environment, Event
 from repro.core.channels import CUDAWrapper
@@ -65,6 +65,8 @@ class GStream:
                 return
             while work is not None:
                 yield from self._execute(work)
+                if self.manager.is_blacklisted(self.device_index):
+                    break  # out-of-service streams stop pulling work
                 # Algorithm 5.2: steal before going idle.
                 work = steal_work(self.device_index, self.manager.queues)
             self.manager.mark_idle(self)
@@ -90,6 +92,15 @@ class GStream:
                          kernel=work.execute_name, work=work.work_id,
                          cached=bool(work.cache)) as wsp:
             try:
+                injected = (mgr.faults.consume_fault(self.device_index)
+                            if mgr.faults is not None else None)
+                if injected is not None:
+                    if injected in ("gpu-hang", "pcie-timeout"):
+                        # The fault is only *detected* after the driver
+                        # watchdog window — the stream is stuck that long.
+                        yield self.env.timeout(
+                            mgr.faults.config.fault_timeout_s)
+                    raise DeviceFaultError(injected, device.name)
                 secondary = yield from self._stage_secondary_inputs(
                     work, device, region)
                 if work.mapped_memory:
@@ -109,9 +120,15 @@ class GStream:
                 if spill_region is not None:
                     spill_region.remove_spills(work.work_id)
                 self._temp_secondary = []
+                if mgr.faults is not None:
+                    mgr.faults.record_device_failure(self.device_index, exc)
                 if (work.completion is not None
                         and not work.completion.triggered):
                     work.completion.fail(exc)
+                    # The producer may have been interrupted (its worker
+                    # died) and no longer waits: an unclaimed failure must
+                    # not crash the simulation loop.
+                    work.completion.defused()
                 self.works_executed += 1
                 return
         out = work.out_buffer.derive(output_elements)
@@ -529,6 +546,11 @@ class GStreamManager:
         # skipped and work balances blindly across bulks.
         self.locality_aware = locality_aware
         self.queues: List[Deque[GWork]] = [deque() for _ in devices]
+        # Fault-domain controller (the owning GPUManager); None when the
+        # manager is constructed standalone (unit tests) — no fault
+        # machinery runs then.
+        self.faults = None
+        self.blacklisted_devices: set = set()
         self.bulks: List[List[GStream]] = []
         self.idle: List[List[GStream]] = []
         for gid in range(len(devices)):
@@ -544,16 +566,28 @@ class GStreamManager:
         work.completion = self.env.event()
         self.works_submitted += 1
         keys = self._locality_keys(work) if self.locality_aware else []
+        bl = self.blacklisted_devices
+        # Blacklisted bulks present no idle streams to Algorithm 5.1, so
+        # work can only land on in-service devices (unless none remain).
+        idle_view = ([[] if g in bl else self.idle[g]
+                      for g in range(len(self.devices))]
+                     if bl and len(bl) < len(self.devices) else self.idle)
         decision = schedule_work(work, self.gmm, keys,
-                                 self.idle, self.queues)
+                                 idle_view, self.queues)
         if decision.stream is not None:
             stream = decision.stream
             self.idle[stream.device_index].remove(stream)
             stream.mailbox.put(work)
             target, dispatch = stream.device_index, "stream"
         else:
-            target, dispatch = decision.queue_index, "queued"
-            self.queues[decision.queue_index].append(work)
+            queue_index = decision.queue_index
+            if queue_index in bl and len(bl) < len(self.devices):
+                healthy = [g for g in range(len(self.queues))
+                           if g not in bl]
+                queue_index = min(healthy,
+                                  key=lambda g: (len(self.queues[g]), g))
+            target, dispatch = queue_index, "queued"
+            self.queues[queue_index].append(work)
         device_name = self.devices[target].name
         tracer = self.obs.tracer
         tracer.instant("gwork.submit", "gpu.schedule",
@@ -572,6 +606,36 @@ class GStreamManager:
         """A stream found no work to steal and parks itself."""
         if stream not in self.idle[stream.device_index]:
             self.idle[stream.device_index].append(stream)
+
+    # -- failure domains ------------------------------------------------------------
+    def is_blacklisted(self, device_index: int) -> bool:
+        return device_index in self.blacklisted_devices
+
+    def mark_blacklisted(self, device_index: int) -> None:
+        """Take a device out of service: re-route its queued work.
+
+        Its streams stop stealing after their current work; GWorks parked in
+        its pool queue migrate to the shortest surviving queue (or stay put
+        when no device survives — the producer's retry will fail over to
+        the CPU path instead).
+        """
+        if device_index in self.blacklisted_devices:
+            return
+        self.blacklisted_devices.add(device_index)
+        healthy = [g for g in range(len(self.queues))
+                   if g not in self.blacklisted_devices]
+        if not healthy:
+            return
+        stranded = self.queues[device_index]
+        while stranded:
+            work = stranded.popleft()
+            target = min(healthy, key=lambda g: (len(self.queues[g]), g))
+            # An idle healthy stream picks it up immediately when possible.
+            if self.idle[target]:
+                stream = self.idle[target].pop(0)
+                stream.mailbox.put(work)
+            else:
+                self.queues[target].append(work)
 
     # -- observability -------------------------------------------------------------
     @property

@@ -1,0 +1,348 @@
+"""Chaos engineering on the simulated clock: failure domains end-to-end.
+
+The paper picks Flink for its reliability — "replication and error detection
+to schedule around failures" (§1.1).  This module provides the *fault side*
+of that story as a first-class, deterministic subsystem:
+
+* :class:`ChaosSchedule` — a declarative, seeded schedule of faults: kill a
+  worker at time *t*, fail a GPU device (ECC error / device OOM / kernel
+  hang-timeout), corrupt or time out a PCIe transfer, or fail individual
+  task attempts (the per-attempt :class:`~repro.flink.fault.FailureInjector`
+  stays available as the low-level hook via :meth:`ChaosSchedule.injector`).
+  :meth:`ChaosSchedule.random` draws Poisson fault arrivals from
+  :mod:`repro.common.rng`, so a whole chaos run is reproducible from one
+  integer.
+* :class:`ChaosEngine` — the simulation process that applies the schedule
+  to a live cluster and runs the master's *heartbeat monitor*: a dead worker
+  stops heartbeating and is declared dead once
+  ``FlinkConfig.heartbeat_timeout_s`` passes, which is what releases its
+  displaced subtasks for re-placement and its lost partitions for lineage
+  recovery (see :mod:`repro.flink.jobmanager`).
+* :func:`backoff_delay` — exponential back-off with deterministic jitter for
+  retried attempts, shared by the JobManager's retry loop and unit tests.
+
+Nothing here runs unless a schedule is installed
+(:meth:`repro.flink.runtime.Cluster.install_chaos`): a fault-free simulation
+schedules zero extra events and its clock stays bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Dict, Generator, List, Optional, Tuple, TYPE_CHECKING
+
+from repro.common.rng import generator
+from repro.common.simclock import Event
+from repro.flink.config import FlinkConfig
+from repro.flink.fault import FailureInjector
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.flink.runtime import Cluster
+
+__all__ = ["FaultKind", "ChaosEvent", "ChaosSchedule", "ChaosEngine",
+           "backoff_delay", "values_equal", "GPU_FAULT_KINDS",
+           "PCIE_FAULT_KINDS"]
+
+
+def values_equal(a: Any, b: Any) -> bool:
+    """Exact structural equality of two job results.
+
+    Chaos acceptance is *identical results*, not approximately-equal ones:
+    lineage recovery re-executes the same deterministic operators on the
+    same inputs, and CPU fallback runs the same kernel function over the
+    same page-sized blocks, so even floating-point reductions must come out
+    bit-identical.  Handles numpy arrays and nested containers.
+    """
+    if hasattr(a, "shape") or hasattr(b, "shape"):  # numpy-like
+        import numpy as np
+        return bool(np.array_equal(np.asarray(a), np.asarray(b)))
+    if isinstance(a, dict) and isinstance(b, dict):
+        return (a.keys() == b.keys()
+                and all(values_equal(a[k], b[k]) for k in a))
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        return (len(a) == len(b)
+                and all(values_equal(x, y) for x, y in zip(a, b)))
+    return bool(a == b)
+
+
+class FaultKind(Enum):
+    """The failure domains the chaos engine can exercise."""
+
+    WORKER_KILL = "worker-kill"    # whole node dies (TaskManager + datanode)
+    GPU_ECC = "gpu-ecc"            # uncorrectable ECC error: device is gone
+    GPU_OOM = "gpu-oom"            # transient device OOM: next GWork fails
+    GPU_HANG = "gpu-hang"          # kernel hang: charged a watchdog timeout
+    PCIE_CORRUPT = "pcie-corrupt"  # corrupted transfer: work must be redone
+    PCIE_TIMEOUT = "pcie-timeout"  # stalled transfer: charged a timeout
+
+
+#: GPU-device fault kinds (target a device; ECC is permanent).
+GPU_FAULT_KINDS = (FaultKind.GPU_ECC, FaultKind.GPU_OOM, FaultKind.GPU_HANG)
+#: PCIe transfer fault kinds (transient; the retried work goes through).
+PCIE_FAULT_KINDS = (FaultKind.PCIE_CORRUPT, FaultKind.PCIE_TIMEOUT)
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One scheduled fault: what happens, where, and when."""
+
+    at: float
+    kind: FaultKind
+    worker: str
+    device: Optional[int] = None  # GPU index on ``worker`` for device faults
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ValueError(f"fault time must be >= 0, got {self.at}")
+        needs_device = self.kind is not FaultKind.WORKER_KILL
+        if needs_device and self.device is None:
+            object.__setattr__(self, "device", 0)
+
+
+def _event_order(event: ChaosEvent) -> Tuple:
+    return (event.at, event.worker, event.kind.value,
+            -1 if event.device is None else event.device)
+
+
+class ChaosSchedule:
+    """A deterministic, seeded schedule of cluster faults.
+
+    Build one fluently::
+
+        schedule = (ChaosSchedule()
+                    .kill_worker("worker1", at=40.0)
+                    .fail_gpu("worker0", device=0, at=10.0)
+                    .fail_task("gpu-map(kmeans)", subtask=3, attempts=1))
+
+    or draw one at random (reproducibly) with :meth:`random`.  The same seed
+    and the same schedule give a bit-identical simulated clock and identical
+    results — chaos runs are diffable artifacts, like traces.
+    """
+
+    def __init__(self, events: Optional[List[ChaosEvent]] = None):
+        self._events: List[ChaosEvent] = list(events or [])
+        #: (op_name, subtask) -> number of attempts to fail (low-level hook).
+        self.task_failures: Dict[Tuple[str, int], int] = {}
+
+    # -- builders ---------------------------------------------------------------
+    def add(self, event: ChaosEvent) -> "ChaosSchedule":
+        self._events.append(event)
+        return self
+
+    def kill_worker(self, worker: str, at: float) -> "ChaosSchedule":
+        """Kill ``worker`` (TaskManager, partitions, datanode) at time ``at``."""
+        return self.add(ChaosEvent(at=at, kind=FaultKind.WORKER_KILL,
+                                   worker=worker))
+
+    def fail_gpu(self, worker: str, device: int, at: float,
+                 kind: FaultKind = FaultKind.GPU_ECC) -> "ChaosSchedule":
+        """Fault GPU ``device`` of ``worker`` at time ``at``."""
+        if kind not in GPU_FAULT_KINDS:
+            raise ValueError(f"not a GPU fault kind: {kind}")
+        return self.add(ChaosEvent(at=at, kind=kind, worker=worker,
+                                   device=device))
+
+    def fault_pcie(self, worker: str, device: int, at: float,
+                   kind: FaultKind = FaultKind.PCIE_CORRUPT
+                   ) -> "ChaosSchedule":
+        """Corrupt/time out the next PCIe transfer on a device at ``at``."""
+        if kind not in PCIE_FAULT_KINDS:
+            raise ValueError(f"not a PCIe fault kind: {kind}")
+        return self.add(ChaosEvent(at=at, kind=kind, worker=worker,
+                                   device=device))
+
+    def fail_task(self, op_name: str, subtask: int,
+                  attempts: int = 1) -> "ChaosSchedule":
+        """Fail the first ``attempts`` attempts of one subtask (generalizes
+        the per-attempt FailureInjector plan)."""
+        self.task_failures[(op_name, subtask)] = attempts
+        return self
+
+    # -- views -------------------------------------------------------------------
+    @property
+    def events(self) -> List[ChaosEvent]:
+        """Scheduled faults in deterministic application order."""
+        return sorted(self._events, key=_event_order)
+
+    def injector(self) -> Optional[FailureInjector]:
+        """A FailureInjector for the schedule's per-attempt task failures."""
+        if not self.task_failures:
+            return None
+        return FailureInjector(plan=dict(self.task_failures))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    # -- random generation -----------------------------------------------------------
+    @classmethod
+    def random(cls, seed: int, duration_s: float, workers: List[str],
+               gpus_per_worker: int = 0,
+               worker_kill_rate: float = 0.0,
+               gpu_fault_rate: float = 0.0,
+               pcie_fault_rate: float = 0.0) -> "ChaosSchedule":
+        """Draw Poisson fault arrivals over ``[0, duration_s]``.
+
+        Rates are events per second.  Worker kills are capped at
+        ``len(workers) - 1`` distinct victims so at least one worker always
+        survives to recover onto.  Each fault family draws from its own
+        derived stream, so turning one rate up does not perturb the others.
+        """
+        schedule = cls()
+        if worker_kill_rate > 0 and len(workers) > 1:
+            rng = generator(seed, "chaos", "worker-kill")
+            t, victims = 0.0, set()
+            while len(victims) < len(workers) - 1:
+                t += float(rng.exponential(1.0 / worker_kill_rate))
+                if t >= duration_s:
+                    break
+                alive = [w for w in workers if w not in victims]
+                victim = alive[int(rng.integers(len(alive)))]
+                victims.add(victim)
+                schedule.kill_worker(victim, at=t)
+        if gpu_fault_rate > 0 and gpus_per_worker > 0:
+            rng = generator(seed, "chaos", "gpu-fault")
+            t = 0.0
+            while True:
+                t += float(rng.exponential(1.0 / gpu_fault_rate))
+                if t >= duration_s:
+                    break
+                worker = workers[int(rng.integers(len(workers)))]
+                device = int(rng.integers(gpus_per_worker))
+                kind = GPU_FAULT_KINDS[int(rng.integers(len(GPU_FAULT_KINDS)))]
+                schedule.fail_gpu(worker, device, at=t, kind=kind)
+        if pcie_fault_rate > 0 and gpus_per_worker > 0:
+            rng = generator(seed, "chaos", "pcie-fault")
+            t = 0.0
+            while True:
+                t += float(rng.exponential(1.0 / pcie_fault_rate))
+                if t >= duration_s:
+                    break
+                worker = workers[int(rng.integers(len(workers)))]
+                device = int(rng.integers(gpus_per_worker))
+                kind = PCIE_FAULT_KINDS[
+                    int(rng.integers(len(PCIE_FAULT_KINDS)))]
+                schedule.fault_pcie(worker, device, at=t, kind=kind)
+        return schedule
+
+
+def backoff_delay(flink: FlinkConfig, attempt: int, *identity: Any) -> float:
+    """Back-off before retry ``attempt`` (1-based) of one subtask.
+
+    ``base * 2**(attempt-1)`` capped at ``retry_backoff_max_s``, stretched by
+    a deterministic jitter factor in ``[1, 1 + retry_backoff_jitter]`` drawn
+    from ``retry_jitter_seed`` and the subtask ``identity`` — two retries of
+    different subtasks de-synchronize (no thundering herd on the surviving
+    workers) yet every run replays the exact same delays.
+    """
+    base = flink.retry_backoff_base_s
+    if base <= 0.0 or attempt <= 0:
+        return 0.0
+    delay = min(base * (2.0 ** (attempt - 1)), flink.retry_backoff_max_s)
+    jitter = flink.retry_backoff_jitter
+    if jitter > 0.0:
+        rng = generator(flink.retry_jitter_seed, "backoff",
+                        *[str(part) for part in identity], str(attempt))
+        delay *= 1.0 + jitter * float(rng.random())
+    return delay
+
+
+class ChaosEngine:
+    """Applies a :class:`ChaosSchedule` to a live cluster + heartbeat monitor.
+
+    Created by :meth:`repro.flink.runtime.Cluster.install_chaos`.  Two
+    simulation processes:
+
+    * the *injector* walks the schedule and applies each fault at its time;
+    * the *heartbeat monitor* ticks every ``heartbeat_interval_s`` and
+      declares a non-heartbeating worker dead after ``heartbeat_timeout_s``
+      — the detection latency every displaced subtask observes before the
+      scheduler re-places it.
+
+    Both exit when their work is done so the event heap drains normally.
+    """
+
+    def __init__(self, cluster: "Cluster", schedule: ChaosSchedule):
+        self.cluster = cluster
+        self.schedule = schedule
+        self.env = cluster.env
+        self.applied: List[ChaosEvent] = []
+        #: worker -> declaration time (detection latency = this - killed_at).
+        self.declared: Dict[str, float] = {}
+        self.process = self.env.process(self._run(), name="chaos-injector")
+        self._monitor = self.env.process(self._heartbeat_monitor(),
+                                         name="heartbeat-monitor")
+
+    # -- the injector process -----------------------------------------------------
+    def _run(self) -> Generator[Event, None, None]:
+        for event in self.schedule.events:
+            if event.at > self.env.now:
+                yield self.env.timeout(event.at - self.env.now)
+            self._apply(event)
+
+    def _apply(self, event: ChaosEvent) -> None:
+        obs = self.cluster.obs
+        tracer = obs.tracer
+        track = tracer.track("chaos", "injector")
+        tracer.instant(f"chaos.{event.kind.value}", "chaos", track,
+                       worker=event.worker,
+                       **({} if event.device is None
+                          else {"device": event.device}))
+        obs.registry.counter("chaos.events", kind=event.kind.value).inc()
+        self.applied.append(event)
+        if event.kind is FaultKind.WORKER_KILL:
+            self.cluster.fail_worker(event.worker)
+            return
+        worker = self.cluster.workers.get(event.worker)
+        gpumanager = getattr(worker, "gpumanager", None)
+        if gpumanager is not None:
+            gpumanager.inject_device_fault(event.device or 0, event.kind)
+
+    # -- the heartbeat monitor ------------------------------------------------------
+    def ensure_monitor(self) -> None:
+        """Restart the monitor if it already drained (late manual kills)."""
+        if self._monitor.triggered:
+            self._monitor = self.env.process(self._heartbeat_monitor(),
+                                             name="heartbeat-monitor")
+
+    def _heartbeat_monitor(self) -> Generator[Event, None, None]:
+        flink = self.cluster.config.flink
+        interval = max(flink.heartbeat_interval_s, 1e-9)
+        timeout = flink.heartbeat_timeout_s
+        while True:
+            if self.process.triggered and not self._undetected():
+                return  # schedule fully applied, every death declared
+            yield self.env.timeout(interval)
+            now = self.env.now
+            for name in self._undetected():
+                worker = self.cluster.workers[name]
+                failed_at = worker.failed_at or now
+                if now - failed_at >= timeout:
+                    self.declared[name] = now
+                    self.cluster.declare_worker_dead(name)
+
+    def _undetected(self) -> List[str]:
+        """Dead-but-not-yet-declared workers, in stable name order."""
+        return [name for name, worker
+                in sorted(self.cluster.workers.items())
+                if not worker.alive
+                and not self.cluster.worker_is_declared_dead(name)]
+
+    # -- reporting ------------------------------------------------------------------
+    def summary(self) -> Dict[str, Any]:
+        """Applied faults + detection latencies, for resilience reports."""
+        kills = {e.worker: e.at for e in self.applied
+                 if e.kind is FaultKind.WORKER_KILL}
+        return {
+            "events_applied": len(self.applied),
+            "by_kind": {
+                kind.value: sum(1 for e in self.applied if e.kind is kind)
+                for kind in FaultKind
+                if any(e.kind is kind for e in self.applied)
+            },
+            "workers_killed": sorted(kills),
+            "detection_latency_s": {
+                name: self.declared[name] - kills[name]
+                for name in sorted(self.declared) if name in kills
+            },
+        }

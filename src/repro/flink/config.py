@@ -59,6 +59,22 @@ class FlinkConfig:
 
     # Fault tolerance.
     max_task_retries: int = 3
+    # Worker failure detection: the master expects a heartbeat from every
+    # TaskManager each interval and declares a worker dead once
+    # ``heartbeat_timeout_s`` passes without one.  Detection runs only while
+    # a chaos schedule is installed (see repro.flink.chaos) so fault-free
+    # simulations schedule no extra events and keep a bit-identical clock.
+    heartbeat_interval_s: float = 1.0
+    heartbeat_timeout_s: float = 5.0
+    # Retry back-off for failed attempts: attempt k waits
+    # ``base * 2**(k-1)`` capped at ``retry_backoff_max_s``, stretched by a
+    # deterministic jitter in [0, retry_backoff_jitter] derived from
+    # ``retry_jitter_seed`` and the subtask identity.  The default base of 0
+    # disables back-off entirely (immediate retry — the pre-chaos behavior).
+    retry_backoff_base_s: float = 0.0
+    retry_backoff_max_s: float = 30.0
+    retry_backoff_jitter: float = 0.1
+    retry_jitter_seed: int = 20160816
 
     # Operator chaining: fuse element-wise operator chains into one task
     # (Flink's default behavior); see repro.flink.optimizer.

@@ -39,10 +39,14 @@ class FailureInjector:
 
     plan: dict = field(default_factory=dict)
     should_fail: Optional[Callable[[str, int, int], bool]] = None
-    failures_injected: int = 0
     #: Attribution log: one ``(op_name, subtask, attempt)`` per injection,
     #: in injection order — lines up with the trace's fault instants.
     injected: List[Tuple[str, int, int]] = field(default_factory=list)
+
+    @property
+    def failures_injected(self) -> int:
+        """Number of injected failures (derived from the ``injected`` log)."""
+        return len(self.injected)
 
     def check(self, op_name: str, subtask: int, attempt: int) -> bool:
         """True if this attempt must fail."""
@@ -51,6 +55,5 @@ class FailureInjector:
         else:
             verdict = attempt < self.plan.get((op_name, subtask), 0)
         if verdict:
-            self.failures_injected += 1
             self.injected.append((op_name, subtask, attempt))
         return verdict

@@ -18,9 +18,11 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional, Set, TYPE_CHECKING
 
 from repro.common.errors import JobExecutionError
-from repro.common.simclock import Environment, Event
+from repro.common.simclock import Environment, Event, InterruptError
+from repro.flink.chaos import backoff_delay
 from repro.flink.fault import FailureInjector, TaskFailure
-from repro.flink.graph import ExecutionGraph, ExecutionVertex
+from repro.flink.graph import ExecutionGraph, ExecutionJobVertex, \
+    ExecutionVertex
 from repro.flink.partition import Partition, split_evenly
 from repro.flink.plan import (
     CollectionSource,
@@ -71,6 +73,10 @@ class JobMetrics:
     hdfs_write_bytes: float = 0.0
     retries: int = 0
     subtasks: int = 0
+    #: Partitions recomputed by lineage recovery after a worker loss.
+    recovered_partitions: int = 0
+    #: GPU subtasks that degraded to CPU execution (all devices blacklisted).
+    fallback_tasks: int = 0
     operator_spans: Dict[int, OperatorSpan] = field(default_factory=dict)
     #: Operators materialized by THIS job (cleanup is per-job so concurrent
     #: applications on one cluster do not evict each other's intermediates).
@@ -176,10 +182,16 @@ class JobManager:
                 sinks = apply_chaining(sinks, cpu=flink.enable_chaining,
                                        gpu=flink.enable_gpu_chaining)
             graph = ExecutionGraph(sinks, self.cluster.default_parallelism)
-            scheduler = Scheduler(self.config.worker_names(), tracer=tracer)
+            scheduler = Scheduler(self.config.worker_names(), tracer=tracer,
+                                  health=self.cluster.worker_is_alive)
 
             for op in graph.order:
                 if op.uid in self.cluster.materialized:
+                    # Persisted from an earlier job — but a worker loss may
+                    # have taken some of its partitions down with it; lineage
+                    # recovery recomputes exactly those.
+                    yield from self._recover_dataset(
+                        op, graph, scheduler, metrics, failure_injector)
                     continue
                 yield from self._run_operator(op, graph, scheduler, metrics,
                                               failure_injector)
@@ -203,16 +215,35 @@ class JobManager:
     # -- per-operator execution ----------------------------------------------------
     def _run_operator(self, op: Operator, graph: ExecutionGraph,
                       scheduler: Scheduler, metrics: JobMetrics,
-                      injector: Optional[FailureInjector]
+                      injector: Optional[FailureInjector],
+                      only: Optional[Set[int]] = None
                       ) -> Generator[Event, None, None]:
-        jv = graph.job_vertex(op)
+        """Run (or partially re-run) one operator's subtask wave.
+
+        When ``only`` is given this is a lineage-recovery pass: a *fresh*
+        job vertex is scheduled at the dataset's original parallelism, the
+        exchanges ship data only to the lost consumer indices, and only
+        those subtasks execute; their outputs replace the lost partitions
+        in ``cluster.materialized``.
+        """
+        recovering = only is not None
+        if recovering:
+            # A fresh vertex: graph vertices accumulate state (assigned
+            # blocks, attempts) that must not double up across recoveries,
+            # and the lost dataset's parallelism may differ from this job's.
+            jv = ExecutionJobVertex(op, len(self.cluster.materialized[op.uid]))
+            jv.expand()
+        else:
+            jv = graph.job_vertex(op)
         preassigned: List[Optional[Partition]] = [None] * jv.parallelism
         per_subtask_inputs: List[List[Partition]] = [
             [] for _ in range(jv.parallelism)]
         tracer = self.cluster.obs.tracer
         jm_track = tracer.track(self.cluster.master_name, "jobmanager")
+        span_name = (f"recover:{op.name}" if recovering else f"op:{op.name}")
+        span_cat = "recovery" if recovering else "operator"
 
-        with tracer.span(f"op:{op.name}", "operator", jm_track, op=op.name,
+        with tracer.span(span_name, span_cat, jm_track, op=op.name,
                          parallelism=jv.parallelism):
             if isinstance(op, HdfsSource):
                 scheduler.schedule_source(jv, self.cluster.hdfs)
@@ -222,6 +253,13 @@ class JobManager:
                 scheduler.schedule_collection_source(jv, parts)
                 preassigned = list(parts)
             else:
+                if not recovering:
+                    # Inputs materialized earlier (this job or a previous
+                    # one) may have lost partitions to a worker death —
+                    # recompute exactly those before consuming them.
+                    for inp in op.inputs:
+                        yield from self._recover_dataset(
+                            inp, graph, scheduler, metrics, injector)
                 producer_parts = [self.cluster.materialized[inp.uid]
                                   for inp in op.inputs]
                 scheduler.schedule_consumer(jv, graph, producer_parts)
@@ -234,7 +272,8 @@ class JobManager:
                         self.cluster.serializer, strat, producer_parts[k],
                         jv.parallelism, consumer_workers,
                         key_fn=op.key_fn_for_input(k),
-                        combiner=op.combiner_for_input(k))
+                        combiner=op.combiner_for_input(k),
+                        only_consumers=only)
                     with tracer.span(f"exchange:{op.name}", "shuffle",
                                      ex_track, op=op.name, input=k,
                                      strategy=strat.name) as sp:
@@ -245,93 +284,174 @@ class JobManager:
                     for j, part in enumerate(result.inputs):
                         per_subtask_inputs[j].append(part)
 
-            if isinstance(op, HdfsSink):
+            if isinstance(op, HdfsSink) and not recovering:
                 self.cluster.hdfs.namenode.create_file(op.path)
 
             start = self.env.now
+            run_indices = (sorted(only) if recovering
+                           else range(jv.parallelism))
             subtask_procs = [
                 self.env.process(
-                    self._run_subtask(vertex, per_subtask_inputs[i],
+                    self._run_subtask(jv.subtasks[i], per_subtask_inputs[i],
                                       preassigned[i], jv.parallelism, metrics,
-                                      injector),
+                                      injector, scheduler),
                     name=f"{op.name}[{i}]")
-                for i, vertex in enumerate(jv.subtasks)
+                for i in run_indices
             ]
             results = yield self.env.all_of(subtask_procs)
             outputs = sorted(results.values(), key=lambda p: p.index)
 
-            metrics.operator_spans[op.uid] = OperatorSpan(
-                name=op.name, parallelism=jv.parallelism,
-                start=start, end=self.env.now)
-            metrics.subtasks += jv.parallelism
+            if not recovering:
+                metrics.operator_spans[op.uid] = OperatorSpan(
+                    name=op.name, parallelism=jv.parallelism,
+                    start=start, end=self.env.now)
+            metrics.subtasks += len(subtask_procs)
 
-        self.cluster.materialized[op.uid] = outputs
+        if recovering:
+            existing = self.cluster.materialized[op.uid]
+            pos = {p.index: i for i, p in enumerate(existing)}
+            for part in outputs:
+                existing[pos[part.index]] = part
+            metrics.recovered_partitions += len(outputs)
+            self.cluster.obs.registry.counter(
+                "recovery.recomputed_partitions", op=op.name).inc(
+                    len(outputs))
+        else:
+            self.cluster.materialized[op.uid] = outputs
         for part in outputs:
             worker = self.cluster.workers.get(part.worker)
             if worker is not None:
                 worker.taskmanager.put_partition(op.uid, part)
         scheduler.release(jv)
 
+    # -- lineage recovery ------------------------------------------------------
+    def _recover_dataset(self, op: Operator, graph: ExecutionGraph,
+                         scheduler: Scheduler, metrics: JobMetrics,
+                         injector: Optional[FailureInjector]
+                         ) -> Generator[Event, None, None]:
+        """Recompute the partitions of ``op`` lost to dead workers.
+
+        Healthy partitions are left untouched: recovery re-executes the
+        producing operator only for the lost indices (after recursively
+        recovering its own inputs).  A dataset missing entirely — evicted
+        intermediates an earlier job cleaned up — is re-run in full.
+        """
+        parts = self.cluster.materialized.get(op.uid)
+        if parts is None:
+            yield from self._run_operator(op, graph, scheduler, metrics,
+                                          injector)
+            # Re-materialized by this job: mark for this job's cleanup so a
+            # non-persisted input does not linger after recovery.
+            metrics.materialized_uids.add(op.uid)
+            return
+        lost = {p.index for p in parts
+                if not self.cluster.worker_is_alive(p.worker)}
+        if not lost:
+            return
+        for inp in op.inputs:
+            yield from self._recover_dataset(inp, graph, scheduler, metrics,
+                                             injector)
+        yield from self._run_operator(op, graph, scheduler, metrics,
+                                      injector, only=lost)
+
     def _run_subtask(self, vertex: ExecutionVertex,
                      inputs: List[Partition],
                      preassigned: Optional[Partition],
                      n_subtasks: int, metrics: JobMetrics,
-                     injector: Optional[FailureInjector]
+                     injector: Optional[FailureInjector],
+                     scheduler: Scheduler
                      ) -> Generator[Event, None, Partition]:
         op = vertex.op
-        worker = self.cluster.workers[vertex.worker]
         flink = self.config.flink
         obs = self.cluster.obs
         tracer = obs.tracer
-        # One lane per task slot: concurrent subtasks on a worker render on
-        # separate rows, queued ones stack up in simulated time.
-        task_track = tracer.track(
-            worker.name, f"slot{vertex.subtask_index % self.config.slots}")
+        proc = self.env.active_process
         while True:
-            with worker.taskmanager.slots.request() as slot:
-                yield slot
-                with tracer.span(f"{op.name}[{vertex.subtask_index}]",
-                                 "task", task_track, op=op.name,
-                                 subtask=vertex.subtask_index,
-                                 attempt=vertex.attempts) as sp:
-                    overhead = flink.task_schedule_s + flink.task_deploy_s
-                    metrics.schedule_s += overhead
-                    yield self.env.timeout(overhead)
-                    ctx = TaskContext(self.cluster, vertex, metrics,
-                                      n_subtasks,
-                                      preassigned_partition=preassigned)
-                    try:
-                        if injector is not None and injector.check(
-                                op.name, vertex.subtask_index,
-                                vertex.attempts):
-                            tracer.instant(
-                                "fault.injected", "fault", task_track,
-                                op=op.name, subtask=vertex.subtask_index,
-                                attempt=vertex.attempts)
-                            obs.registry.counter("faults.injected",
-                                                 op=op.name).inc()
-                            raise TaskFailure(op.name, vertex.subtask_index,
-                                              vertex.attempts)
-                        partition = yield from op.execute_subtask(ctx, inputs)
-                    except TaskFailure as failure:
-                        vertex.attempts += 1
-                        metrics.retries += 1
-                        sp.set(failed=True)
-                        tracer.instant(
-                            "task.retry", "fault", task_track, op=op.name,
-                            subtask=vertex.subtask_index,
-                            attempt=vertex.attempts - 1,
-                            cause=type(failure).__name__)
-                        obs.registry.counter("task.retries",
-                                             op=op.name).inc()
-                        if vertex.attempts > flink.max_task_retries:
-                            raise JobExecutionError(
-                                f"{op.name}[{vertex.subtask_index}] failed "
-                                f"after {vertex.attempts} attempts"
-                            ) from failure
-                        continue  # release the slot, retry from scratch
-                worker.taskmanager.tasks_executed += 1
-                return partition
+            # Re-resolved each attempt: a retried or displaced subtask may
+            # have been re-placed onto a different worker.
+            worker = self.cluster.workers[vertex.worker]
+            # One lane per task slot: concurrent subtasks on a worker render
+            # on separate rows, queued ones stack up in simulated time.
+            task_track = tracer.track(
+                worker.name,
+                f"slot{vertex.subtask_index % self.config.slots}")
+            failure: Optional[TaskFailure] = None
+            worker_lost = False
+            worker.taskmanager.register_running(proc)
+            try:
+                with worker.taskmanager.slots.request() as slot:
+                    yield slot
+                    with tracer.span(f"{op.name}[{vertex.subtask_index}]",
+                                     "task", task_track, op=op.name,
+                                     subtask=vertex.subtask_index,
+                                     attempt=vertex.attempts) as sp:
+                        overhead = flink.task_schedule_s + flink.task_deploy_s
+                        metrics.schedule_s += overhead
+                        yield self.env.timeout(overhead)
+                        ctx = TaskContext(self.cluster, vertex, metrics,
+                                          n_subtasks,
+                                          preassigned_partition=preassigned)
+                        try:
+                            if injector is not None and injector.check(
+                                    op.name, vertex.subtask_index,
+                                    vertex.attempts):
+                                tracer.instant(
+                                    "fault.injected", "fault", task_track,
+                                    op=op.name,
+                                    subtask=vertex.subtask_index,
+                                    attempt=vertex.attempts)
+                                obs.registry.counter("faults.injected",
+                                                     op=op.name).inc()
+                                raise TaskFailure(op.name,
+                                                  vertex.subtask_index,
+                                                  vertex.attempts)
+                            partition = yield from op.execute_subtask(ctx,
+                                                                      inputs)
+                        except TaskFailure as exc:
+                            sp.set(failed=True)
+                            failure = exc
+                if failure is None:
+                    worker.taskmanager.tasks_executed += 1
+                    return partition
+            except InterruptError as exc:
+                # The worker died under us (slot wait included): the attempt
+                # is charged, and the retry must escape to another node.
+                worker_lost = True
+                failure = TaskFailure(
+                    op.name, vertex.subtask_index, vertex.attempts,
+                    cause=f"worker {worker.name} lost: {exc.cause}")
+            finally:
+                worker.taskmanager.unregister_running(proc)
+
+            vertex.attempts += 1
+            metrics.retries += 1
+            tracer.instant(
+                "task.retry", "fault", task_track, op=op.name,
+                subtask=vertex.subtask_index,
+                attempt=vertex.attempts - 1,
+                cause="worker-lost" if worker_lost
+                else type(failure).__name__)
+            obs.registry.counter("task.retries", op=op.name).inc()
+            if vertex.attempts > flink.max_task_retries:
+                raise JobExecutionError(
+                    f"{op.name}[{vertex.subtask_index}] failed "
+                    f"after {vertex.attempts} attempts"
+                ) from failure
+            if worker_lost:
+                # Wait for the master to *declare* the death (heartbeat
+                # timeout), then re-place away from the dead node.
+                yield self.cluster.worker_declared(worker.name)
+                scheduler.reschedule(vertex, avoid=(worker.name,),
+                                     reason="worker-lost")
+                tracer.instant(
+                    "task.displaced", "fault", task_track, op=op.name,
+                    subtask=vertex.subtask_index, worker=vertex.worker)
+            else:
+                delay = backoff_delay(flink, vertex.attempts, op.name,
+                                      vertex.subtask_index)
+                if delay > 0:
+                    yield self.env.timeout(delay)
+                scheduler.reschedule(vertex, reason="retry")
 
     # -- cleanup -------------------------------------------------------------------
     def extract_result(self, sink: Operator) -> Any:

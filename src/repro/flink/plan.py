@@ -148,7 +148,11 @@ class CollectionSource(Operator):
                                         int(nbytes))
         yield ctx.env.timeout(ctx.serializer.deserialize_time(
             nbytes, part.nominal_count))
-        return part.derive(part.elements)
+        out = part.derive(part.elements)
+        # A retried attempt may have been re-placed: the output lives where
+        # the subtask actually ran, not where the slice was first assigned.
+        out.worker = ctx.worker.name
+        return out
 
 
 class HdfsSource(Operator):

@@ -112,3 +112,57 @@ def session_summary(history: List[JobMetrics]) -> str:
 def metrics_summary(registry) -> str:
     """Flat text rendering of a :class:`repro.obs.MetricsRegistry`."""
     return registry.render()
+
+
+#: Counters surfaced by :func:`resilience_report` (name, display label).
+_RESILIENCE_COUNTERS = (
+    ("chaos.events", "chaos events applied"),
+    ("worker.failures", "worker failures"),
+    ("worker.declared_dead", "deaths declared"),
+    ("device.blacklisted", "devices blacklisted"),
+    ("task.retries", "task retries"),
+    ("recovery.recomputed_partitions", "partitions recomputed"),
+    ("fallback.cpu_tasks", "CPU-fallback tasks"),
+)
+
+
+def resilience_report(engine, result, baseline=None, registry=None) -> str:
+    """Text summary of a chaos run: faults, detection, recovery, overhead.
+
+    ``engine`` is the run's :class:`~repro.flink.chaos.ChaosEngine`,
+    ``result`` (and the optional fault-free ``baseline``) are
+    :class:`~repro.workloads.base.WorkloadResult` s, and ``registry`` is the
+    chaos cluster's metrics registry (for the failure-domain counters).
+    """
+    summary = engine.summary()
+    lines = ["resilience report",
+             f"  faults applied        {summary['events_applied']:>8d}"]
+    for kind in sorted(summary["by_kind"]):
+        lines.append(f"    {kind:<20} {summary['by_kind'][kind]:>8d}")
+    if summary["workers_killed"]:
+        lines.append(f"  workers killed        "
+                     f"{', '.join(summary['workers_killed'])}")
+    for name in sorted(summary["detection_latency_s"]):
+        lines.append(f"  detection latency     {name}: "
+                     f"{summary['detection_latency_s'][name]:.2f} s")
+    retries = sum(m.retries for m in result.job_metrics)
+    recovered = sum(m.recovered_partitions for m in result.job_metrics)
+    fallback = sum(m.fallback_tasks for m in result.job_metrics)
+    lines += [f"  task retries          {retries:>8d}",
+              f"  partitions recovered  {recovered:>8d}",
+              f"  CPU-fallback tasks    {fallback:>8d}"]
+    if baseline is not None and baseline.total_seconds > 0:
+        overhead = result.total_seconds / baseline.total_seconds - 1.0
+        lines.append(f"  makespan              {result.total_seconds:8.3f} s "
+                     f"(fault-free {baseline.total_seconds:.3f} s, "
+                     f"overhead {overhead:+.1%})")
+    else:
+        lines.append(f"  makespan              "
+                     f"{result.total_seconds:8.3f} s")
+    if registry is not None:
+        lines.append("  counters:")
+        for name, label in _RESILIENCE_COUNTERS:
+            total = registry.sum_values(name)
+            if total:
+                lines.append(f"    {label:<22} {total:>8.0f}")
+    return "\n".join(lines)

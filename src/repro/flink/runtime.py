@@ -69,6 +69,11 @@ class Cluster:
         self.jobmanager = JobManager(self)
         # op uid -> materialized partitions; survives jobs for persisted ops.
         self.materialized: Dict[int, List[Partition]] = {}
+        # Failure domains (repro.flink.chaos): the installed engine, plus
+        # master-side death declarations and their waiter events.
+        self.chaos = None
+        self._declared_dead: Dict[str, float] = {}
+        self._declare_waiters: Dict[str, Any] = {}
 
     @property
     def default_parallelism(self) -> int:
@@ -78,6 +83,92 @@ class Cluster:
     @property
     def worker_list(self) -> List[Worker]:
         return list(self.workers.values())
+
+    # -- failure domains (repro.flink.chaos) --------------------------------------
+    def install_chaos(self, schedule) -> Any:
+        """Install a :class:`~repro.flink.chaos.ChaosSchedule`.
+
+        Starts the chaos injector and the master's heartbeat monitor;
+        returns the :class:`~repro.flink.chaos.ChaosEngine`.  Without this
+        call no failure-detection process ever runs, so fault-free
+        simulations keep a bit-identical clock.
+        """
+        from repro.flink.chaos import ChaosEngine
+        if self.chaos is not None:
+            raise ValueError("a chaos schedule is already installed")
+        self.chaos = ChaosEngine(self, schedule)
+        return self.chaos
+
+    def worker_is_alive(self, name: Optional[str]) -> bool:
+        """Liveness of ``name`` (unknown/driver-side locations count alive)."""
+        worker = self.workers.get(name) if name is not None else None
+        return worker.alive if worker is not None else True
+
+    def healthy_worker_names(self) -> List[str]:
+        """Names of live workers, in stable configuration order."""
+        return [name for name in self.config.worker_names()
+                if self.workers[name].alive]
+
+    def fail_worker(self, name: str) -> None:
+        """Kill a worker node: its whole failure domain goes down at once.
+
+        Running and queued subtasks are interrupted, the TaskManager's
+        partition store is dropped (lineage recovery will recompute what is
+        needed), and the co-located HDFS datanode fails with it — reads fail
+        over to surviving replicas.  Detection (the declaration that frees
+        displaced subtasks to re-place) happens separately, through the
+        chaos engine's heartbeat monitor — or immediately when no chaos
+        engine is installed (manual kills in tests).
+        """
+        worker = self.workers[name]
+        if not worker.alive:
+            return
+        worker.fail()
+        datanode = self.hdfs.datanodes.get(name)
+        if datanode is not None and datanode.alive:
+            datanode.fail()
+        tracer = self.obs.tracer
+        tracer.instant("worker.dead", "fault",
+                       tracer.track(self.master_name, "failures"),
+                       worker=name)
+        self.obs.registry.counter("worker.failures", worker=name).inc()
+        if self.chaos is None:
+            self.declare_worker_dead(name)
+        else:
+            self.chaos.ensure_monitor()
+
+    def worker_is_declared_dead(self, name: str) -> bool:
+        """True once the master has detected (declared) the worker's death."""
+        return name in self._declared_dead
+
+    def declare_worker_dead(self, name: str) -> None:
+        """Master-side death declaration: wake everything waiting on it."""
+        if name in self._declared_dead:
+            return
+        self._declared_dead[name] = self.env.now
+        tracer = self.obs.tracer
+        tracer.instant("worker.declared_dead", "fault",
+                       tracer.track(self.master_name, "failures"),
+                       worker=name)
+        self.obs.registry.counter("worker.declared_dead", worker=name).inc()
+        waiter = self._declare_waiters.pop(name, None)
+        if waiter is not None and not waiter.triggered:
+            waiter.succeed(name)
+
+    def worker_declared(self, name: str):
+        """An event firing when ``name``'s death is declared.
+
+        Already-declared (or still-alive) workers yield an event that fires
+        immediately: displaced subtasks wait exactly the remaining detection
+        latency, never longer.
+        """
+        if name in self._declared_dead or self.worker_is_alive(name):
+            return self.env.timeout(0.0)
+        waiter = self._declare_waiters.get(name)
+        if waiter is None:
+            waiter = self.env.event()
+            self._declare_waiters[name] = waiter
+        return waiter
 
     # -- data loading outside of a job (test/bench setup) ---------------------------
     def load_hdfs_file(self, path: str, chunks: List[Tuple[Any, int]]) -> None:

@@ -10,15 +10,23 @@ experiments):
   locality: no network on the forward edge).
 * Shuffle/gather/broadcast consumers — spread round-robin by load.
 
+Fault tolerance: every placement decision consults the cluster's worker
+``health`` predicate, so nothing is ever scheduled onto a dead node, and
+:meth:`Scheduler.reschedule` re-places a *retried* attempt — a retry is not
+pinned to the worker that just failed it, it escapes to the least-loaded
+healthy node (avoiding, when possible, the workers in ``avoid``).
+
 The scheduler only picks *placement*; slot *contention* is enforced at run
 time by each TaskManager's slot resource.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Callable, Dict, Iterable, List, Optional
 
-from repro.flink.graph import ExecutionGraph, ExecutionJobVertex
+from repro.common.errors import JobExecutionError
+from repro.flink.graph import ExecutionGraph, ExecutionJobVertex, \
+    ExecutionVertex
 from repro.flink.plan import HdfsSource, ShipStrategy
 from repro.flink.partition import Partition
 from repro.hdfs.filesystem import HDFS
@@ -27,16 +35,28 @@ from repro.hdfs.filesystem import HDFS
 class Scheduler:
     """Fills in worker assignments for an execution graph, operator by operator."""
 
-    def __init__(self, worker_names: List[str], tracer=None):
+    def __init__(self, worker_names: List[str], tracer=None,
+                 health: Optional[Callable[[str], bool]] = None):
         self.worker_names = list(worker_names)
         self._load: Dict[str, int] = {w: 0 for w in worker_names}
         # Optional repro.obs.trace.Tracer: placement decisions become
         # "place" instants on the master's scheduler lane.
         self.tracer = tracer
+        # Liveness predicate (Cluster.worker_is_alive); None = all healthy.
+        self._health = health
 
     # -- helpers ---------------------------------------------------------------
+    def _is_healthy(self, worker: str) -> bool:
+        return self._health is None or self._health(worker)
+
+    def _healthy_names(self) -> List[str]:
+        names = [w for w in self.worker_names if self._is_healthy(w)]
+        if not names:
+            raise JobExecutionError("no healthy workers left in the cluster")
+        return names
+
     def _least_loaded(self) -> str:
-        return min(self.worker_names, key=lambda w: (self._load[w], w))
+        return min(self._healthy_names(), key=lambda w: (self._load[w], w))
 
     def _assign(self, worker: str) -> str:
         self._load[worker] += 1
@@ -66,7 +86,8 @@ class Scheduler:
         for vertex in jv.subtasks:
             local_candidates = [
                 w for w in self.worker_names
-                if vertex.assigned_blocks
+                if self._is_healthy(w)
+                and vertex.assigned_blocks
                 and vertex.assigned_blocks[0].is_local_to(w)
             ]
             worker = self._least_loaded()
@@ -127,7 +148,8 @@ class Scheduler:
                 parts = input_partitions[forward_idx]
                 if vertex.subtask_index < len(parts):
                     home = parts[vertex.subtask_index].worker
-            if home is not None and home in self._load:
+            if home is not None and home in self._load \
+                    and self._is_healthy(home):
                 vertex.worker = self._assign(home)
                 reason = "colocate-input"
             else:
@@ -135,6 +157,29 @@ class Scheduler:
                 reason = "spread"
             self._trace_place(op.name, vertex.subtask_index, vertex.worker,
                               reason)
+
+    # -- retry re-placement ---------------------------------------------------------
+    def reschedule(self, vertex: ExecutionVertex,
+                   avoid: Iterable[str] = (),
+                   reason: str = "retry") -> str:
+        """Re-place a retried/displaced subtask onto a healthy worker.
+
+        The previous assignment's load is released; the new attempt goes to
+        the least-loaded healthy worker outside ``avoid`` when any exists
+        (a single-node cluster retries in place).  Raises
+        :class:`~repro.common.errors.JobExecutionError` when no healthy
+        worker remains.
+        """
+        avoid = set(avoid)
+        if vertex.worker is not None and vertex.worker in self._load:
+            self._load[vertex.worker] -= 1
+        healthy = self._healthy_names()
+        candidates = [w for w in healthy if w not in avoid] or healthy
+        vertex.worker = self._assign(
+            min(candidates, key=lambda w: (self._load[w], w)))
+        self._trace_place(vertex.op.name, vertex.subtask_index,
+                          vertex.worker, reason)
+        return vertex.worker
 
     def release(self, jv: ExecutionJobVertex) -> None:
         """Forget load contributed by a finished operator."""

@@ -11,7 +11,7 @@ computed for real so downstream results are correct.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Generator, List, Optional, Tuple
+from typing import Any, Callable, Generator, List, Optional, Set, Tuple
 
 import numpy as np
 
@@ -58,7 +58,8 @@ class Exchange:
                  producers: List[Partition], n_consumers: int,
                  consumer_workers: List[str],
                  key_fn: Optional[Callable] = None,
-                 combiner: Optional[Tuple[Callable, Callable]] = None):
+                 combiner: Optional[Tuple[Callable, Callable]] = None,
+                 only_consumers: Optional[Set[int]] = None):
         self.env = env
         self.network = network
         self.serializer = serializer
@@ -68,7 +69,14 @@ class Exchange:
         self.consumer_workers = consumer_workers
         self.key_fn = key_fn
         self.combiner = combiner
+        # Lineage recovery re-executes only the *lost* consumer subtasks;
+        # restricting the exchange to them skips shipping (and payloads) for
+        # every other consumer index, whose input slot comes back as None.
+        self.only_consumers = only_consumers
         self.bytes_shuffled = 0.0
+
+    def _want(self, j: int) -> bool:
+        return self.only_consumers is None or j in self.only_consumers
 
     # -- entry point -------------------------------------------------------------
     def run(self) -> Generator[Event, None, ExchangeResult]:
@@ -98,6 +106,8 @@ class Exchange:
                 f"producers vs {self.n_consumers} consumers")
         moves = []
         for j, part in enumerate(self.producers):
+            if not self._want(j):
+                continue
             dst = self.consumer_workers[j]
             if part.worker != dst:
                 moves.append(self.env.process(
@@ -106,8 +116,11 @@ class Exchange:
                     name=f"forward-{j}"))
         if moves:
             yield self.env.all_of(moves)
-        inputs = []
+        inputs: List[Optional[Partition]] = []
         for j, part in enumerate(self.producers):
+            if not self._want(j):
+                inputs.append(None)
+                continue
             dst = self.consumer_workers[j]
             moved = part.derive(part.elements)
             moved.index = j
@@ -126,6 +139,8 @@ class Exchange:
         inputs: List[Optional[Partition]] = [None] * q
         moves = []
         for i, part in enumerate(self.producers):
+            if not self._want(offset + i):
+                continue
             dst = self.consumer_workers[offset + i]
             if part.worker != dst:
                 moves.append(self.env.process(
@@ -134,6 +149,8 @@ class Exchange:
         if moves:
             yield self.env.all_of(moves)
         for i, part in enumerate(self.producers):
+            if not self._want(offset + i):
+                continue
             moved = part.derive(part.elements)
             moved.index = offset + i
             moved.worker = self.consumer_workers[offset + i]
@@ -184,8 +201,11 @@ class Exchange:
                 name=f"shuffle-send-{part.index}"))
         if senders:
             yield self.env.all_of(senders)
-        inputs = []
+        inputs: List[Optional[Partition]] = []
         for j in range(q):
+            if not self._want(j):
+                inputs.append(None)
+                continue
             merged: List[Any] = []
             nominal = 0.0
             for bucket, count in bucket_payloads[j]:
@@ -216,7 +236,7 @@ class Exchange:
         # operator cost; here we charge shipping: serialize once, then wire
         # time per destination.
         for j, (bucket, count) in enumerate(zip(buckets, counts)):
-            if count <= 0:
+            if count <= 0 or not self._want(j):
                 continue
             nbytes = count * element_nbytes
             dst = self.consumer_workers[j]
@@ -247,10 +267,13 @@ class Exchange:
         return [Partition(index=j, elements=list(merged),
                           element_nbytes=element_nbytes, scale=scale,
                           worker=self.consumer_workers[j])
+                if self._want(j) else None
                 for j in range(self.n_consumers)]
 
     def _broadcast_one(self, part: Partition) -> Generator[Event, None, None]:
-        for dst in dict.fromkeys(self.consumer_workers):
+        wanted = [dst for j, dst in enumerate(self.consumer_workers)
+                  if self._want(j)]
+        for dst in dict.fromkeys(wanted):
             yield from self._ship(part.worker, dst, part.nominal_nbytes,
                                   part.nominal_count)
 

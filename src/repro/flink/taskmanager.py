@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.common.resources import Resource
-from repro.common.simclock import Environment
+from repro.common.simclock import Environment, Process
 from repro.flink.config import ClusterConfig
 from repro.flink.memory import MemoryManager
 from repro.flink.partition import Partition
@@ -32,6 +32,38 @@ class TaskManager:
         # dataset uid -> partition index -> Partition
         self._store: Dict[int, Dict[int, Partition]] = {}
         self.tasks_executed = 0
+        # Subtask processes currently assigned to this worker (queued for a
+        # slot or running).  A worker kill interrupts them all: the
+        # JobManager's retry loop catches the InterruptError and re-places
+        # the attempt after failure detection.
+        self._running: List[Process] = []
+
+    # -- process registry (fault tolerance) -------------------------------------
+    def register_running(self, process: Process) -> None:
+        """Track a subtask process executing on this worker."""
+        self._running.append(process)
+
+    def unregister_running(self, process: Process) -> None:
+        """Stop tracking a subtask process (attempt finished or displaced)."""
+        try:
+            self._running.remove(process)
+        except ValueError:
+            pass
+
+    def fail(self, cause: str = "worker failed") -> None:
+        """Kill this TaskManager: interrupt its subtasks, drop its state.
+
+        The partition store is cleared — everything materialized here is
+        lost and must be recovered by lineage.  Slot bookkeeping needs no
+        special handling: interrupted subtasks release their slot requests
+        as the interrupt unwinds their ``with`` blocks.
+        """
+        victims = list(self._running)
+        self._running.clear()
+        self._store.clear()
+        for process in victims:
+            if process.is_alive:
+                process.interrupt(cause)
 
     # -- partition store ------------------------------------------------------
     def put_partition(self, dataset_uid: int, partition: Partition) -> None:
@@ -62,6 +94,19 @@ class Worker:
         # The GFlink runtime attaches a repro.core.gpumanager.GPUManager here;
         # the plain Flink substrate leaves it None.
         self.gpumanager = None
+        # Failure-domain state: a dead worker stops heartbeating, loses its
+        # slots and partitions, and is never scheduled onto again.
+        self.alive = True
+        self.failed_at: Optional[float] = None
+
+    def fail(self, cause: str = "worker killed") -> None:
+        """Kill this node (idempotent).  Use Cluster.fail_worker normally —
+        it also fails the co-located HDFS datanode and records metrics."""
+        if not self.alive:
+            return
+        self.alive = False
+        self.failed_at = self.env.now
+        self.taskmanager.fail(cause)
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"<Worker {self.name}>"

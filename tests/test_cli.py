@@ -60,3 +60,32 @@ class TestCli:
                               "--iterations", "1"])
         assert code == 0
         assert "p100" in text
+
+
+class TestChaosCli:
+    def test_chaos_run_reports_and_matches(self):
+        code, text = run_cli(["chaos", "pointadd", "--mode", "gpu",
+                              "--workers", "2", "--real", "2000",
+                              "--nominal", "1e4", "--iterations", "2",
+                              "--gpu-fail", "worker0:0@0.1",
+                              "--gpu-fail", "worker0:1@0.1"])
+        assert code == 0
+        assert "resilience report" in text
+        assert "identical to the fault-free run" in text
+        assert "CPU-fallback" in text
+
+    def test_chaos_empty_schedule_rejected(self):
+        code, text = run_cli(["chaos", "pointadd", "--workers", "2",
+                              "--real", "1000", "--nominal", "1e4"])
+        assert code == 2
+        assert "empty fault schedule" in text
+
+    def test_chaos_unknown_worker_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli(["chaos", "pointadd", "--workers", "2",
+                     "--real", "1000", "--kill", "worker9@1.0"])
+
+    def test_chaos_bad_spec_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli(["chaos", "pointadd", "--workers", "2",
+                     "--real", "1000", "--kill", "worker1"])
