@@ -34,6 +34,10 @@ from repro.workloads.base import WorkloadResult
 #: reviewer) reads one file instead of scraping pytest-benchmark JSON.
 BENCH_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR1.json"
 
+#: Consolidated GProfiler briefs (critical path, bottleneck classes,
+#: copy/compute overlap) from the profiling bench suite.
+BENCH_PROFILE_PATH = Path(__file__).resolve().parent.parent / "BENCH_PR5.json"
+
 
 def record_bench(name: str, payload: dict,
                  path: Optional[Path] = None) -> None:
@@ -128,6 +132,33 @@ class FigureReport:
         record_bench(self.title, {"rows": table})
 
 
+def profile_brief(session: GFlinkSession) -> Optional[dict]:
+    """A compact GProfiler digest of one traced run (None when untraced).
+
+    The full summary (:func:`repro.obs.profile.summarize_tracer`) is large;
+    benches attach just the headline numbers to each record: makespan,
+    critical-path split, each operator's bottleneck class, and the
+    cluster-wide copy/compute overlap.
+    """
+    cluster = session.cluster
+    if not cluster.obs.enabled:
+        return None
+    from repro.obs.profile import summarize_tracer
+    summary = summarize_tracer(cluster.obs.tracer)
+    cats = summary["critical_path"]["categories"]
+    return {
+        "makespan_s": round(summary["makespan_s"], 4),
+        "critical_path_s": round(summary["critical_path"]["length_s"], 4),
+        "critical_path_categories": {
+            k: round(v, 4) for k, v in cats.items() if v > 0},
+        "bottlenecks": {
+            op: entry["class"]
+            for op, entry in summary["operators"].items()},
+        "copy_compute_overlap_pct": round(
+            summary["totals"]["copy_compute_overlap_pct"], 4),
+    }
+
+
 _trace_seq = itertools.count()
 
 
@@ -151,6 +182,7 @@ def run_workload(workload_factory: Callable[[], object], mode: str,
     session = session or fresh_session(config)
     workload = workload_factory()
     result = workload.run(session, mode)
+    result.profile = profile_brief(session)
     _maybe_dump_trace(session, f"{type(workload).__name__}-{mode}")
     return result
 

@@ -32,6 +32,20 @@ if [[ "${1:-}" != "--fast" ]]; then
         --metrics-out traces/ci_wordcount_metrics.json
     python -m repro.obs.validate traces/ci_wordcount.json
 
+    echo "== profile gate: critical path + regression vs committed baseline =="
+    # Profiles the traced smoke (the summary schema is validated by the
+    # profile command itself) and compares against the committed baseline.
+    # Generous thresholds: the simulated clock is deterministic, so any
+    # drift at all means the model changed — but the gate only *fails* on
+    # substantial slowdowns.  Refresh the baseline deliberately with:
+    #   python -m repro profile traces/ci_wordcount.json --quiet \
+    #       --json traces/ci_wordcount_profile_baseline.json
+    python -m repro profile traces/ci_wordcount.json \
+        --json traces/ci_profile_summary.json \
+        --baseline traces/ci_wordcount_profile_baseline.json \
+        --threshold makespan_s=0.25 --threshold critical_path=0.60 \
+        --threshold operator_wall=0.60 --threshold overlap_pct=0.50
+
     echo "== chaos smoke: wordcount survives worker kill + GPU fault =="
     # Exits non-zero unless the faulted run's result is identical to the
     # fault-free run's; the trace must also pass schema validation.

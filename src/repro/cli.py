@@ -8,6 +8,8 @@ Examples::
     python -m repro trace wordcount --out traces/wordcount.json
     python -m repro metrics kmeans --mode gpu
     python -m repro chaos wordcount --kill worker1@40 --gpu-fail worker0:0@10
+    python -m repro profile traces/wordcount-gpu.json
+    python -m repro profile traces/run.json --baseline traces/base.json
     python -m repro specs
 """
 
@@ -124,6 +126,25 @@ def build_parser() -> argparse.ArgumentParser:
                             "when every device is blacklisted")
     chaos.add_argument("--out", default=None,
                        help="also write the chaos run's Chrome trace here")
+
+    profile = sub.add_parser(
+        "profile",
+        help="analyze a Chrome trace: critical path, bottlenecks, "
+             "utilization; optionally gate against a baseline")
+    profile.add_argument("trace",
+                         help="Chrome trace JSON (from `repro trace`) or an "
+                              "already-computed profile summary JSON")
+    profile.add_argument("--baseline", default=None,
+                         help="baseline trace or summary to compare "
+                              "against; exit 1 on regression")
+    profile.add_argument("--json", dest="json_out", default=None,
+                         help="write the machine-readable summary here")
+    profile.add_argument("--threshold", action="append", default=[],
+                         metavar="METRIC=REL",
+                         help="override a relative regression threshold, "
+                              "e.g. makespan_s=0.2 or critical_path=0.5")
+    profile.add_argument("--quiet", action="store_true",
+                         help="suppress the text report (gate only)")
 
     sub.add_parser("list", help="list available workloads")
     sub.add_parser("specs", help="show the GPU spec catalog")
@@ -322,6 +343,60 @@ def _cmd_chaos(args, out) -> int:
     return 1
 
 
+def _parse_thresholds(specs):
+    """``METRIC=REL`` pairs → threshold-override dict."""
+    overrides = {}
+    for spec in specs:
+        metric, sep, value = spec.partition("=")
+        if not sep or not metric:
+            raise SystemExit(f"bad --threshold spec {spec!r}: "
+                             f"expected METRIC=REL")
+        try:
+            overrides[metric] = float(value)
+        except ValueError:
+            raise SystemExit(f"bad --threshold spec {spec!r}: "
+                             f"{value!r} is not a number")
+    return overrides
+
+
+def _cmd_profile(args, out) -> int:
+    import json as _json
+
+    from repro.obs.profile import (
+        compare_summaries, profile_file, render_comparison, render_text,
+        validate_profile_summary)
+
+    try:
+        summary = profile_file(args.trace)
+    except (OSError, ValueError, _json.JSONDecodeError) as exc:
+        print(f"cannot profile {args.trace}: {exc}", file=out)
+        return 2
+    errors = validate_profile_summary(summary)
+    if errors:
+        for error in errors:
+            print(f"invalid profile summary: {error}", file=out)
+        return 2
+    if not args.quiet:
+        print(render_text(summary), file=out)
+    if args.json_out:
+        from pathlib import Path
+        path = Path(args.json_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(_json.dumps(summary, indent=2) + "\n")
+        print(f"summary: {path}", file=out)
+    if args.baseline is None:
+        return 0
+    try:
+        baseline = profile_file(args.baseline)
+    except (OSError, ValueError, _json.JSONDecodeError) as exc:
+        print(f"cannot load baseline {args.baseline}: {exc}", file=out)
+        return 2
+    deltas = compare_summaries(summary, baseline,
+                               _parse_thresholds(args.threshold))
+    print(render_comparison(deltas), file=out)
+    return 1 if any(d.regressed for d in deltas) else 0
+
+
 def _cmd_list(out) -> int:
     print("available workloads (paper Table 1):", file=out)
     for name, (cls, nominal, size_param) in sorted(WORKLOADS.items()):
@@ -354,6 +429,8 @@ def main(argv: Optional[list] = None, out=None) -> int:
         return _cmd_metrics(args, out)
     if args.command == "chaos":
         return _cmd_chaos(args, out)
+    if args.command == "profile":
+        return _cmd_profile(args, out)
     if args.command == "list":
         return _cmd_list(out)
     if args.command == "specs":

@@ -178,30 +178,39 @@ class CUDAWrapper:
     def transfer_h2d_inline(self, device: GPUDevice, dst: DeviceBuffer,
                             block: Block, hbuffer: HBuffer,
                             mode: CommMode = CommMode.GFLINK
-                            ) -> Generator[Event, None, None]:
-        """One block host→device, run inside the calling process."""
+                            ) -> Generator[Event, None, "tuple[float, float]"]:
+        """One block host→device, run inside the calling process.
+
+        Returns the copy engine's exact ``(start, end)`` occupancy window.
+        """
         premium = self._path_premium_s(block.nbytes, mode)
         if premium:
             yield self.env.timeout(premium)
         yield self._jni()
         host = self.host_view(block, hbuffer, mode)
-        yield from self.runtime.memcpy_h2d(device, dst, host)
+        window = yield from self.runtime.memcpy_h2d(device, dst, host)
+        return window
 
     def transfer_d2h_inline(self, device: GPUDevice, dst_hbuffer: HBuffer,
                             src: DeviceBuffer, nbytes: int,
                             mode: CommMode = CommMode.GFLINK
-                            ) -> Generator[Event, None, object]:
-        """One result block device→host; returns the payload."""
+                            ) -> Generator[Event, None, "tuple[object, tuple[float, float]]"]:
+        """One result block device→host.
+
+        Returns ``(payload, engine_window)`` — the payload plus the copy
+        engine's exact occupancy interval.
+        """
         yield self._jni()
         host = HostBuffer(
             nbytes=nbytes,
             pinned=dst_hbuffer.pinned and mode is CommMode.GFLINK,
             dma_capable=dst_hbuffer.dma_capable)
-        yield from self.runtime.memcpy_d2h(device, host, src, nbytes=nbytes)
+        window = yield from self.runtime.memcpy_d2h(device, host, src,
+                                                    nbytes=nbytes)
         premium = self._path_premium_s(nbytes, mode)
         if premium:
             yield self.env.timeout(premium)
-        return host.data
+        return host.data, window
 
     def launch_kernel_inline(self, device: GPUDevice, kernel_name: str,
                              n_elements: float, launch: LaunchConfig,

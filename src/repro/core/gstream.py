@@ -176,11 +176,14 @@ class GStream:
             whole = Block(index=0, elements=hbuf.elements,
                           nominal_count=hbuf.nominal_count,
                           nbytes=int(hbuf.nbytes))
-            with tracer.span("h2d", "gpu.device",
-                             tracer.track(device.name, "copy:h2d"),
-                             nbytes=int(hbuf.nbytes), operand=name):
-                yield from self.manager.wrapper.transfer_h2d_inline(
-                    device, dev_buf, whole, hbuf, work.comm_mode)
+            window = yield from self.manager.wrapper.transfer_h2d_inline(
+                device, dev_buf, whole, hbuf, work.comm_mode)
+            # The engine-occupancy window is exact: spans on a copy lane
+            # never overlap (queue wait is excluded, not hidden inside).
+            tracer.complete("h2d", "gpu.device",
+                            tracer.track(device.name, "copy:h2d"),
+                            start=window[0], end=window[1],
+                            nbytes=int(hbuf.nbytes), operand=name)
             obs.registry.counter("gpu.pcie.h2d.bytes",
                                  device=device.name).inc(int(hbuf.nbytes))
             secondary[name] = dev_buf
@@ -252,10 +255,11 @@ class GStream:
                         dev_buf = yield from wrapper.cuda_malloc(
                             device, blk.nbytes)
                         temp = True
-                    with tracer.span("h2d", "gpu.device", h2d_track,
-                                     nbytes=blk.nbytes, block=blk.index):
-                        yield from wrapper.transfer_h2d_inline(
-                            device, dev_buf, blk, primary, work.comm_mode)
+                    window = yield from wrapper.transfer_h2d_inline(
+                        device, dev_buf, blk, primary, work.comm_mode)
+                    tracer.complete("h2d", "gpu.device", h2d_track,
+                                    start=window[0], end=window[1],
+                                    nbytes=blk.nbytes, block=blk.index)
                     h2d_bytes_ctr.inc(blk.nbytes)
                 yield to_kernel.put((blk, dev_buf, temp, resume))
             yield to_kernel.put(None)
@@ -344,11 +348,12 @@ class GStream:
                     return
                 blk, out_dev, out_temp, out_spill, d2h_nominal, per_elem = item
                 nbytes = int(max(d2h_nominal * per_elem, 1))
-                with tracer.span("d2h", "gpu.device", d2h_track,
-                                 nbytes=nbytes, block=blk.index):
-                    data = yield from wrapper.transfer_d2h_inline(
-                        device, work.out_buffer, out_dev, nbytes,
-                        work.comm_mode)
+                data, window = yield from wrapper.transfer_d2h_inline(
+                    device, work.out_buffer, out_dev, nbytes,
+                    work.comm_mode)
+                tracer.complete("d2h", "gpu.device", d2h_track,
+                                start=window[0], end=window[1],
+                                nbytes=nbytes, block=blk.index)
                 d2h_bytes_ctr.inc(nbytes)
                 if out_spill is not None and spill_region is not None:
                     spill_region.remove(out_spill)

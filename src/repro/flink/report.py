@@ -114,6 +114,24 @@ def metrics_summary(registry) -> str:
     return registry.render()
 
 
+def profile_summary(cluster) -> dict:
+    """The GProfiler summary for a traced cluster (machine-readable).
+
+    Runs critical-path extraction, bottleneck classification and
+    utilization analysis (:mod:`repro.obs.profile`) over the cluster's
+    tracer.  With tracing disabled the trace is empty and the summary is
+    all zeros — call sites need no enable check.
+    """
+    from repro.obs.profile import summarize_tracer
+    return summarize_tracer(cluster.obs.tracer)
+
+
+def profile_report(cluster) -> str:
+    """Text rendering of :func:`profile_summary` for the same cluster."""
+    from repro.obs.profile import render_text
+    return render_text(profile_summary(cluster))
+
+
 #: Counters surfaced by :func:`resilience_report` (name, display label).
 _RESILIENCE_COUNTERS = (
     ("chaos.events", "chaos events applied"),

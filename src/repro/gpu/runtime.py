@@ -94,35 +94,48 @@ class CUDARuntime:
 
     # -- transfers -----------------------------------------------------------------
     def _transfer_op(self, device: GPUDevice, direction: str, nbytes: int,
-                     pinned: bool) -> Generator[Event, None, None]:
+                     pinned: bool
+                     ) -> Generator[Event, None, "tuple[float, float]"]:
+        """One DMA transfer; returns the copy engine's occupancy window.
+
+        The ``(start, end)`` return value is the exact interval the engine
+        was *held* (wire time, excluding queue wait and pageable staging) —
+        the tracer records it verbatim, which is what guarantees copy spans
+        on an engine lane never overlap.
+        """
         if not pinned:
             # Pageable memory: staged through the driver's bounce buffer.
             yield self.env.timeout(nbytes / self.pageable_staging_bps)
         engine = device.copy_engine(direction)
         with engine.request() as grant:
             yield grant
+            held_at = self.env.now
             yield self.env.timeout(device.spec.pcie_latency_s
                                    + nbytes / device.spec.pcie_effective_bps)
+            released_at = self.env.now
         if direction == "h2d":
             device.h2d_bytes += nbytes
         else:
             device.d2h_bytes += nbytes
+        return held_at, released_at
 
     def memcpy_h2d(self, device: GPUDevice, dst: DeviceBuffer,
-                   src: HostBuffer,
-                   nbytes: Optional[int] = None) -> Generator[Event, None, None]:
-        """``cudaMemcpyH2D`` (synchronous)."""
+                   src: HostBuffer, nbytes: Optional[int] = None
+                   ) -> Generator[Event, None, "tuple[float, float]"]:
+        """``cudaMemcpyH2D`` (synchronous); returns the engine window."""
         n = src.nbytes if nbytes is None else nbytes
-        yield from self._transfer_op(device, "h2d", n, src.pinned)
+        window = yield from self._transfer_op(device, "h2d", n, src.pinned)
         dst.data = _snapshot(src.data)
+        return window
 
     def memcpy_d2h(self, device: GPUDevice, dst: HostBuffer,
-                   src: DeviceBuffer,
-                   nbytes: Optional[int] = None) -> Generator[Event, None, None]:
-        """``cudaMemcpyD2H`` (synchronous)."""
+                   src: DeviceBuffer, nbytes: Optional[int] = None
+                   ) -> Generator[Event, None, "tuple[float, float]"]:
+        """``cudaMemcpyD2H`` (synchronous); returns the engine window."""
         n = src.nbytes if nbytes is None else nbytes
-        yield from self._transfer_op(device, "d2h", n, dst.pinned)
+        window = yield from self._transfer_op(device, "d2h", n, dst.pinned)
         dst.data = _snapshot(src.data)
+        return window
 
     def memcpy_h2d_async(self, device: GPUDevice, stream: CUDAStream,
                          dst: DeviceBuffer, src: HostBuffer,

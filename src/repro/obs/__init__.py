@@ -12,6 +12,10 @@ that story per run instead of per aggregate:
   and histograms the runtime's ad-hoc counters feed into.
 * :mod:`repro.obs.export` — Chrome trace-event JSON (open in Perfetto) and
   flat metrics JSON, plus a dependency-free schema validator.
+* :mod:`repro.obs.profile` — GProfiler: critical-path extraction,
+  per-operator bottleneck classification, engine-utilization timelines and
+  a baseline regression gate (``repro profile``), over a live tracer or an
+  exported trace file.
 
 Wiring: every :class:`~repro.flink.runtime.Cluster` owns an
 :class:`Observability` (tracer + registry), switched by
@@ -25,6 +29,13 @@ from __future__ import annotations
 from typing import Any
 
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profile import (
+    ProfileTrace,
+    compare_summaries,
+    profile_file,
+    summarize_tracer,
+    validate_profile_summary,
+)
 from repro.obs.trace import TraceEvent, Tracer, Track
 
 __all__ = [
@@ -33,9 +44,14 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "Observability",
+    "ProfileTrace",
     "TraceEvent",
     "Tracer",
     "Track",
+    "compare_summaries",
+    "profile_file",
+    "summarize_tracer",
+    "validate_profile_summary",
 ]
 
 

@@ -87,8 +87,57 @@ def _check_event(i: int, ev: Any, errors: List[str]) -> None:
             errors.append(f"{where}: instant scope s must be t/p/g")
 
 
+#: Thread-lane names that model an exclusive hardware engine: at most one
+#: span may occupy the lane at any instant.  (``copy:*`` covers both copy
+#: directions; streams/slots are virtual and may legitimately overlap.)
+def _is_exclusive_lane(thread_name: str) -> bool:
+    return thread_name == "kernel" or thread_name.startswith("copy:")
+
+
+#: Slack for float µs comparisons: spans recorded back-to-back may differ
+#: by rounding noise after the seconds→µs conversion (1 ns of slack).
+_OVERLAP_EPS_US = 1e-3
+
+
+def _check_exclusive_lanes(events: List[Any], errors: List[str]) -> None:
+    """No two X spans on the same kernel / copy-engine lane may overlap."""
+    exclusive = set()
+    for ev in events:
+        if isinstance(ev, dict) and ev.get("ph") == "M" \
+                and ev.get("name") == "thread_name" \
+                and isinstance(ev.get("args", {}).get("name"), str) \
+                and _is_exclusive_lane(ev["args"]["name"]):
+            exclusive.add((ev.get("pid"), ev.get("tid")))
+    if not exclusive:
+        return
+    lanes: Dict[Any, List[Any]] = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict) or ev.get("ph") != "X":
+            continue
+        key = (ev.get("pid"), ev.get("tid"))
+        if key not in exclusive:
+            continue
+        ts, dur = ev.get("ts"), ev.get("dur")
+        if isinstance(ts, (int, float)) and isinstance(dur, (int, float)):
+            lanes.setdefault(key, []).append((float(ts), float(ts + dur), i))
+    for key in sorted(lanes):
+        spans = sorted(lanes[key])
+        for (ts0, end0, i0), (ts1, _end1, i1) in zip(spans, spans[1:]):
+            if ts1 < end0 - _OVERLAP_EPS_US:
+                errors.append(
+                    f"traceEvents[{i1}]: overlaps traceEvents[{i0}] on "
+                    f"exclusive lane pid={key[0]} tid={key[1]} "
+                    f"({ts1:.3f} < {end0:.3f})")
+
+
 def validate_chrome_trace(doc: Any) -> List[str]:
-    """Structural validation of a Chrome trace document; [] when valid."""
+    """Structural validation of a Chrome trace document; [] when valid.
+
+    Beyond per-event shape checks, spans on *exclusive* engine lanes
+    (``kernel`` and ``copy:*`` thread names) must never overlap: those
+    lanes model one physical engine each, and the tracer records exact
+    occupancy windows for them.
+    """
     errors: List[str] = []
     if not isinstance(doc, dict):
         return ["document root must be an object"]
@@ -106,6 +155,7 @@ def validate_chrome_trace(doc: Any) -> List[str]:
                 and ev.get("pid") not in pids_named:
             errors.append(f"traceEvents[{i}]: pid {ev.get('pid')!r} has no "
                           f"process_name metadata")
+    _check_exclusive_lanes(events, errors)
     return errors
 
 

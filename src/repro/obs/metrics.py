@@ -119,6 +119,33 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``) from the buckets.
+
+        Linear interpolation inside the bucket that holds the target rank
+        (the ``histogram_quantile`` estimator), clamped to the observed
+        ``[min, max]`` so one-bucket histograms don't report bucket edges
+        the data never reached.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigError(f"percentile q must be in [0, 1], got {q}")
+        if not self.count:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        lower = self.vmin
+        for bound, in_bucket in zip(self.bounds, self.bucket_counts):
+            upper = bound
+            if in_bucket and cumulative + in_bucket >= rank:
+                frac = (rank - cumulative) / in_bucket
+                value = lower + (upper - lower) * max(frac, 0.0)
+                return min(max(value, self.vmin), self.vmax)
+            cumulative += in_bucket
+            lower = bound
+        # Target rank lives in the overflow bucket: its only known upper
+        # edge is the observed maximum.
+        return self.vmax
+
     def snapshot_value(self) -> Dict[str, Any]:
         if not self.count:
             return {"count": 0, "sum": 0.0}
@@ -128,6 +155,9 @@ class Histogram:
             "min": self.vmin,
             "max": self.vmax,
             "mean": self.mean,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
             "buckets": {
                 **{f"le_{b:g}": c
                    for b, c in zip(self.bounds, self.bucket_counts)},

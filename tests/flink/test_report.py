@@ -1,8 +1,8 @@
 """Tests for the reporting helpers (timeline / breakdown / summary)."""
 
 from repro.flink import FlinkSession, OpCost
-from repro.flink.report import breakdown, metrics_summary, session_summary, \
-    timeline
+from repro.flink.report import breakdown, metrics_summary, profile_report, \
+    profile_summary, session_summary, timeline
 from tests.flink.conftest import make_cluster
 
 
@@ -82,3 +82,26 @@ class TestMetricsSummary:
     def test_untraced_cluster_records_nothing(self, cluster, session):
         run_job(session)
         assert metrics_summary(cluster.obs.registry) == "no metrics recorded"
+
+
+class TestProfileSummary:
+    def test_traced_cluster_profiles(self):
+        import math
+        cluster = make_cluster(enable_tracing=True)
+        session = FlinkSession(cluster)
+        run_job(session)
+        summary = profile_summary(cluster)
+        assert summary["schema"] == "repro.profile.summary/v1"
+        assert summary["makespan_s"] > 0
+        cats = summary["critical_path"]["categories"]
+        assert math.isclose(sum(cats.values()), summary["makespan_s"],
+                            rel_tol=1e-9, abs_tol=1e-9)
+        assert "plus-one" in summary["operators"]
+        text = profile_report(cluster)
+        assert "critical path" in text
+
+    def test_untraced_cluster_profiles_empty(self, cluster, session):
+        run_job(session)
+        summary = profile_summary(cluster)
+        assert summary["makespan_s"] == 0.0
+        assert summary["span_count"] == 0

@@ -71,6 +71,46 @@ class TestSchemaValidation:
         assert any("args.name must be a string" in e for e in errors)
 
 
+def engine_trace(ts_pairs, lane="kernel") -> Tracer:
+    """A one-device trace with explicit spans on one engine lane."""
+    tracer = Tracer(Clock(), enabled=True)
+    track = tracer.track("worker0-gpu0", lane)
+    for start, end in ts_pairs:
+        tracer.complete("k", "gpu.device", track, start=start, end=end)
+    return tracer
+
+
+class TestExclusiveLaneOverlap:
+    def test_overlap_on_kernel_lane_rejected(self):
+        doc = engine_trace([(0.0, 2.0), (1.0, 3.0)]).to_chrome()
+        errors = validate_chrome_trace(doc)
+        assert any("exclusive lane" in e for e in errors)
+
+    def test_overlap_on_copy_lane_rejected(self):
+        doc = engine_trace([(0.0, 2.0), (0.5, 1.0)],
+                           lane="copy:h2d").to_chrome()
+        assert any("exclusive lane" in e
+                   for e in validate_chrome_trace(doc))
+
+    def test_back_to_back_spans_pass(self):
+        doc = engine_trace([(0.0, 1.0), (1.0, 2.0), (2.0, 2.0)]).to_chrome()
+        assert validate_chrome_trace(doc) == []
+
+    def test_overlap_on_virtual_lane_allowed(self):
+        # Streams and slots are virtual lanes — overlap is legitimate there.
+        doc = engine_trace([(0.0, 2.0), (1.0, 3.0)],
+                           lane="stream0").to_chrome()
+        assert validate_chrome_trace(doc) == []
+
+    def test_committed_ci_traces_validate(self):
+        from pathlib import Path
+        traces = Path(__file__).resolve().parents[2] / "traces"
+        for name in ("ci_wordcount.json", "ci_chaos_wordcount.json"):
+            path = traces / name
+            if path.exists():
+                assert validate_chrome_trace_file(path) == [], name
+
+
 class TestWriters:
     def test_trace_roundtrip(self, tmp_path):
         path = tmp_path / "nested" / "trace.json"

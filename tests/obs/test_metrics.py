@@ -92,6 +92,42 @@ class TestHistogram:
         assert Histogram("t", ()).snapshot_value() == {"count": 0,
                                                        "sum": 0.0}
 
+    def test_percentiles_in_snapshot(self):
+        h = Histogram("t", (), bounds=(1.0, 2.0, 4.0, 8.0))
+        for v in (0.5, 1.5, 2.0):
+            h.observe(v)
+        snap = h.snapshot_value()
+        for key in ("p50", "p95", "p99"):
+            assert key in snap
+            assert snap["min"] <= snap[key] <= snap["max"]
+        assert snap["p50"] <= snap["p95"] <= snap["p99"]
+
+    def test_percentile_interpolates_within_bucket(self):
+        h = Histogram("t", (), bounds=(0.0, 10.0))
+        for v in (1.0, 9.0):  # both land in the (0, 10] bucket
+            h.observe(v)
+        # rank 1.0 of 2 → halfway into the bucket holding both samples.
+        assert h.percentile(0.5) == pytest.approx(5.0)
+
+    def test_percentile_clamped_to_observed_range(self):
+        h = Histogram("t", (), bounds=(100.0,))
+        h.observe(3.0)
+        h.observe(4.0)
+        assert h.percentile(0.99) <= 4.0
+        assert h.percentile(0.01) >= 3.0
+
+    def test_percentile_overflow_bucket_uses_max(self):
+        h = Histogram("t", (), bounds=(1.0,))
+        for v in (5.0, 7.0, 9.0):
+            h.observe(v)
+        assert h.percentile(0.99) == 9.0
+
+    def test_percentile_empty_and_bad_q(self):
+        h = Histogram("t", ())
+        assert h.percentile(0.5) == 0.0
+        with pytest.raises(ConfigError, match="must be in"):
+            h.percentile(1.5)
+
 
 class TestExportSurface:
     def test_snapshot_and_json_roundtrip(self):

@@ -1,6 +1,8 @@
 """Tests for the command-line interface."""
 
 import io
+import json
+from pathlib import Path
 
 import pytest
 
@@ -89,3 +91,84 @@ class TestChaosCli:
         with pytest.raises(SystemExit):
             run_cli(["chaos", "pointadd", "--workers", "2",
                      "--real", "1000", "--kill", "worker1"])
+
+
+class TestProfileCli:
+    @pytest.fixture()
+    def trace_path(self, tmp_path):
+        """A small traced run written to disk via the trace subcommand."""
+        path = tmp_path / "run.json"
+        code, _ = run_cli(["trace", "pointadd", "--workers", "2",
+                           "--real", "2000", "--nominal", "1e4",
+                           "--iterations", "2", "--out", str(path)])
+        assert code == 0
+        return path
+
+    def test_profile_reports_and_writes_summary(self, trace_path, tmp_path):
+        summary_path = tmp_path / "summary.json"
+        code, text = run_cli(["profile", str(trace_path),
+                              "--json", str(summary_path)])
+        assert code == 0
+        assert "critical path" in text
+        assert "operator bottlenecks" in text
+        summary = json.loads(summary_path.read_text())
+        assert summary["schema"] == "repro.profile.summary/v1"
+
+    def test_profile_accepts_summary_input(self, trace_path, tmp_path):
+        summary_path = tmp_path / "summary.json"
+        run_cli(["profile", str(trace_path), "--json", str(summary_path),
+                 "--quiet"])
+        code, text = run_cli(["profile", str(summary_path)])
+        assert code == 0
+        assert "critical path" in text
+
+    def test_gate_passes_against_itself(self, trace_path):
+        code, text = run_cli(["profile", str(trace_path), "--quiet",
+                              "--baseline", str(trace_path)])
+        assert code == 0
+        assert "within thresholds" in text
+
+    def test_gate_fails_on_regression(self, trace_path, tmp_path):
+        from repro.obs.profile import profile_file
+        base = profile_file(trace_path)
+        base["makespan_s"] /= 2.0  # baseline twice as fast => regression
+        base_path = tmp_path / "base.json"
+        base_path.write_text(json.dumps(base))
+        code, text = run_cli(["profile", str(trace_path), "--quiet",
+                              "--baseline", str(base_path)])
+        assert code == 1
+        assert "REGRESSION" in text
+
+    def test_threshold_override_changes_verdict(self, trace_path, tmp_path):
+        from repro.obs.profile import profile_file
+        base = profile_file(trace_path)
+        base["makespan_s"] /= 1.05  # 5% slower than baseline
+        base_path = tmp_path / "base.json"
+        base_path.write_text(json.dumps(base))
+        args = ["profile", str(trace_path), "--quiet",
+                "--baseline", str(base_path)]
+        assert run_cli(args)[0] == 0                        # default 10%
+        code, _ = run_cli(args + ["--threshold", "makespan_s=0.01"])
+        assert code == 1
+
+    def test_bad_inputs_exit_2(self, tmp_path):
+        missing = tmp_path / "missing.json"
+        assert run_cli(["profile", str(missing)])[0] == 2
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"rows": []}))
+        assert run_cli(["profile", str(bad)])[0] == 2
+
+    def test_bad_threshold_spec_rejected(self, trace_path):
+        with pytest.raises(SystemExit):
+            run_cli(["profile", str(trace_path),
+                     "--baseline", str(trace_path),
+                     "--threshold", "makespan_s"])
+
+    def test_committed_ci_trace_profiles(self):
+        path = Path(__file__).resolve().parents[1] / "traces" / \
+            "ci_wordcount.json"
+        if not path.exists():
+            pytest.skip("no committed CI trace")
+        code, text = run_cli(["profile", str(path)])
+        assert code == 0
+        assert "worker slot occupancy" in text
