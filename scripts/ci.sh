@@ -17,7 +17,7 @@ echo "== tier-1: unit + integration tests =="
 python -m pytest -q
 
 echo "== lint: cache-region table is private to gmemory.py/repro.obs =="
-if grep -rn "_regions" src/repro --include='*.py' \
+if grep -rnE '(^|[^a-zA-Z0-9_])_regions\b' src/repro --include='*.py' \
         | grep -v 'repro/core/gmemory\.py' \
         | grep -v 'repro/obs/'; then
     echo "FAIL: _regions accessed outside core/gmemory.py and repro/obs" >&2
@@ -26,11 +26,20 @@ fi
 echo "ok"
 
 if [[ "${1:-}" != "--fast" ]]; then
-    echo "== traced bench smoke: wordcount + trace schema validation =="
+    echo "== traced bench smoke: wordcount (pipelined) + schema validation =="
     python -m repro trace wordcount --workers 2 --real 4000 --nominal 1e6 \
+        --executor pipelined \
         --out traces/ci_wordcount.json \
         --metrics-out traces/ci_wordcount_metrics.json
     python -m repro.obs.validate traces/ci_wordcount.json
+
+    echo "== traced bench smoke: wordcount (staged) + schema validation =="
+    # The barriered executor stays supported (FlinkConfig.executor);
+    # its trace must keep validating too.
+    python -m repro trace wordcount --workers 2 --real 4000 --nominal 1e6 \
+        --executor staged \
+        --out traces/ci_wordcount_staged.json
+    python -m repro.obs.validate traces/ci_wordcount_staged.json
 
     echo "== profile gate: critical path + regression vs committed baseline =="
     # Profiles the traced smoke (the summary schema is validated by the

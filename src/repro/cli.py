@@ -65,6 +65,10 @@ def _add_run_options(p: argparse.ArgumentParser, single_mode: bool) -> None:
     p.add_argument("--real", type=int, default=12_000,
                    help="in-memory sample size")
     p.add_argument("--seed", type=int, default=None)
+    p.add_argument("--executor", choices=("staged", "pipelined"),
+                   default="pipelined",
+                   help="execution architecture: barriered stage-at-a-time "
+                        "or streaming block-pipelined (default)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -172,7 +176,8 @@ def _cmd_run(args, out) -> int:
     for mode in modes:
         config = ClusterConfig(n_workers=args.workers, cpu=CPUSpec(),
                                gpus_per_worker=gpus if mode == "gpu" else
-                               gpus)
+                               gpus,
+                               flink=FlinkConfig(executor=args.executor))
         cluster = GFlinkCluster(config)
         workload = _make_workload(args.workload, args)
         results[mode] = workload.run(GFlinkSession(cluster), mode)
@@ -195,7 +200,8 @@ def _traced_run(args):
     gpus = tuple(g for g in args.gpus.split(",") if g)
     config = ClusterConfig(n_workers=args.workers, cpu=CPUSpec(),
                            gpus_per_worker=gpus,
-                           flink=FlinkConfig(enable_tracing=True))
+                           flink=FlinkConfig(enable_tracing=True,
+                                             executor=args.executor))
     cluster = GFlinkCluster(config)
     workload = _make_workload(args.workload, args)
     result = workload.run(GFlinkSession(cluster), args.mode)
@@ -310,7 +316,8 @@ def _cmd_chaos(args, out) -> int:
         config = ClusterConfig(
             n_workers=args.workers, cpu=CPUSpec(), gpus_per_worker=gpus,
             flink=FlinkConfig(enable_tracing=tracing,
-                              retry_backoff_base_s=args.backoff))
+                              retry_backoff_base_s=args.backoff,
+                              executor=args.executor))
         cluster = GFlinkCluster(config, gpu_config=gpu_config)
         engine = cluster.install_chaos(schedule) if schedule else None
         workload = _make_workload(args.workload, args)

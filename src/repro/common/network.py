@@ -13,7 +13,7 @@ latency.  Loopback transfers are free except for a small in-memory copy cost.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Generator
+from typing import Callable, Dict, Generator, Optional, Sequence, Tuple
 
 from repro.common.errors import ConfigError
 from repro.common.resources import Resource
@@ -68,12 +68,20 @@ class Network:
         self._egress[name] = _Port(self.env)
         self._ingress[name] = _Port(self.env)
 
-    def transfer(self, src: str, dst: str,
-                 nbytes: int) -> Generator[Event, None, None]:
+    def transfer(self, src: str, dst: str, nbytes: int,
+                 progress: Optional[
+                     Tuple[Sequence[float], Callable[[float], None]]
+                 ] = None) -> Generator[Event, None, None]:
         """Simulation process: move ``nbytes`` from ``src`` to ``dst``.
 
         Charges wire time on both endpoints' ports; a loopback transfer is
         charged at memcpy speed without touching the NIC.
+
+        ``progress``, when given, is ``(marks, callback)``: cumulative byte
+        offsets at which ``callback(cum)`` fires as the wire time elapses.
+        The wire charge is sliced per mark with an identical sum, so total
+        network time is unchanged; the pipelined executor uses the callback
+        to publish a remote read's byte prefix as it lands.
         """
         if nbytes < 0:
             raise ValueError(f"negative transfer size: {nbytes}")
@@ -82,7 +90,8 @@ class Network:
         if dst not in self._ingress:
             raise ConfigError(f"unknown destination node {dst!r}")
         if src == dst:
-            yield self.env.timeout(nbytes / self.config.loopback_bps)
+            yield from self._charge(nbytes / self.config.loopback_bps,
+                                    nbytes, progress)
             return
         out_port = self._egress[src]
         in_port = self._ingress[dst]
@@ -90,13 +99,34 @@ class Network:
         in_req = in_port.lock.request()
         yield self.env.all_of([out_req, in_req])
         try:
-            wire = nbytes / self.config.bandwidth_bps
-            yield self.env.timeout(self.config.latency_s + wire)
+            yield self.env.timeout(self.config.latency_s)
+            yield from self._charge(nbytes / self.config.bandwidth_bps,
+                                    nbytes, progress)
             out_port.bytes_moved += nbytes
             in_port.bytes_moved += nbytes
         finally:
             out_port.lock.release(out_req)
             in_port.lock.release(in_req)
+
+    def _charge(self, seconds: float, nbytes: int,
+                progress: Optional[
+                    Tuple[Sequence[float], Callable[[float], None]]]
+                ) -> Generator[Event, None, None]:
+        """Charge ``seconds`` of linear transfer time, optionally sliced at
+        byte ``marks`` with ``callback(cum)`` fired at each."""
+        if progress is None or nbytes <= 0:
+            yield self.env.timeout(seconds)
+            return
+        marks, callback = progress
+        done = 0.0
+        for cum in marks:
+            cum = min(float(cum), float(nbytes))
+            if cum > done:
+                yield self.env.timeout(seconds * (cum - done) / nbytes)
+                done = cum
+            callback(done)
+        if done < nbytes:
+            yield self.env.timeout(seconds * (nbytes - done) / nbytes)
 
     def bytes_sent(self, node: str) -> int:
         """Total bytes this node has put on the wire (excludes loopback)."""

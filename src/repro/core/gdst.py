@@ -31,6 +31,27 @@ from repro.flink.partition import Partition, real_len
 from repro.flink.plan import Operator, ShipStrategy
 
 
+def _attach_host_stream(ctx, work: GWork) -> None:
+    """Wire the pipelined executor's input block stream into a GWork.
+
+    When the subtask's primary input is still being streamed onto the host
+    (``ctx.in_stream``), the GPU pipeline's H2D stage must wait for each
+    device block's bytes to arrive — the three-stage pipeline becomes
+    demand-driven by upstream availability.  Mapped-memory works read host
+    buffers from inside the kernel, block by block, with no staging queue
+    to gate — they run ungated and the JobManager's end-of-task barrier
+    keeps their timing honest.
+    """
+    stream = getattr(ctx, "in_stream", None)
+    if stream is None or work.mapped_memory:
+        return
+    work.host_stream = stream
+    work.host_stream_slot = getattr(ctx, "in_slot", None)
+    # The stream is consumed at H2D granularity; any later CPU charge on
+    # this context (e.g. result handling) must not re-consume it.
+    ctx._stream_consumed = True
+
+
 def _submit_gwork(op_name: str, ctx, gpumanager, work: GWork):
     """Submit a GWork and unwrap the result (shared by all GPU operators).
 
@@ -221,7 +242,7 @@ class GpuMapPartitionOp(Operator):
         params = dict(self.params)
         if self.params_fn is not None:
             params.update(self.params_fn())
-        return GWork(
+        work = GWork(
             execute_name=self.kernel_name,
             ptx_path=f"/{self.kernel_name}.ptx",
             in_buffers=in_buffers,
@@ -236,6 +257,8 @@ class GpuMapPartitionOp(Operator):
             comm_mode=self.comm_mode,
             mapped_memory=self.mapped_memory,
         )
+        _attach_host_stream(ctx, work)
+        return work
 
     def out_element_nbytes(self, input_partition) -> float:
         if self.out_elem_nbytes is not None:
@@ -367,7 +390,7 @@ class FusedGpuOp(Operator):
             [], per_elem, scale=part.scale,
             off_heap=self.comm_mode is CommMode.GFLINK,
             pinned=self.comm_mode is CommMode.GFLINK)
-        return GWork(
+        work = GWork(
             execute_name="+".join(op.kernel_name for op in self.stages),
             ptx_path=f"/{self.stages[0].kernel_name}.ptx",
             in_buffers=in_buffers,
@@ -383,6 +406,8 @@ class FusedGpuOp(Operator):
             stages=kernel_stages,
             primary_cached=first.cache,
         )
+        _attach_host_stream(ctx, work)
+        return work
 
     def out_element_nbytes(self, input_partition) -> float:
         per_elem = (float(input_partition.element_nbytes)

@@ -214,9 +214,18 @@ class GStream:
         cache_track = tracer.track(device.name, "cache")
         h2d_bytes_ctr = reg.counter("gpu.pcie.h2d.bytes", device=device.name)
         d2h_bytes_ctr = reg.counter("gpu.pcie.d2h.bytes", device=device.name)
+        # Pipelined executor: the producing operator may still be streaming
+        # the primary input onto the host.  The H2D stage waits for each
+        # device block's byte prefix before uploading (cache hits skip the
+        # wait) and acknowledges consumption so backpressure credits return.
+        host_stream = work.host_stream
+        host_total = float(sum(b.nbytes for b in blocks)) or 1.0
+        pipeline_track = tracer.track(device.name, "pipeline")
 
         def h2d_stage():
+            host_cum = 0.0
             for blk in blocks:
+                host_cum += blk.nbytes
                 # A cached stage output lets the chain resume mid-way with
                 # no upload at all: prefer the deepest one available.
                 dev_buf, temp, resume = None, False, 0
@@ -245,6 +254,20 @@ class GStream:
                     reg.counter("gpu.cache.probe", device=device.name,
                                 outcome=outcome).inc()
                 if dev_buf is None:
+                    if host_stream is not None:
+                        evt = host_stream.when_fraction(host_cum / host_total)
+                        if not evt.triggered:
+                            host_stream.stall_count += 1
+                            reg.counter("pipeline.h2d.starved",
+                                        device=device.name).inc()
+                            stall_start = self.env.now
+                            yield evt
+                            host_stream.stall_seconds += (
+                                self.env.now - stall_start)
+                            tracer.complete(
+                                "h2d.starved", "pipeline", pipeline_track,
+                                start=stall_start, end=self.env.now,
+                                block=blk.index)
                     entry = (primary_region.try_insert(
                                  (work.cache_key, PRIMARY, blk.index),
                                  blk.nbytes)
@@ -261,6 +284,10 @@ class GStream:
                                     start=window[0], end=window[1],
                                     nbytes=blk.nbytes, block=blk.index)
                     h2d_bytes_ctr.inc(blk.nbytes)
+                if host_stream is not None:
+                    host_stream.ack_nbytes(
+                        work.host_stream_slot,
+                        host_cum / host_total * host_stream.total_nbytes)
                 yield to_kernel.put((blk, dev_buf, temp, resume))
             yield to_kernel.put(None)
 

@@ -96,6 +96,14 @@ class GWork:
     #: chain caches stage outputs without necessarily caching its input).
     primary_cached: bool = True
 
+    #: Pipelined executor wiring (repro.flink.pipeline.BlockStream): when
+    #: the producing operator is still streaming the primary input's blocks
+    #: onto the host, the H2D stage waits for each device block's bytes to
+    #: be host-resident before uploading and acknowledges consumption so
+    #: upstream backpressure credits return.  None = input fully resident.
+    host_stream: Optional[Any] = None
+    host_stream_slot: Optional[int] = None
+
     # Runtime state (set by the GStreamManager).
     work_id: int = field(default_factory=lambda: next(_gwork_ids))
     comm_mode: CommMode = CommMode.GFLINK

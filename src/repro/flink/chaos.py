@@ -180,21 +180,35 @@ class ChaosSchedule:
                gpus_per_worker: int = 0,
                worker_kill_rate: float = 0.0,
                gpu_fault_rate: float = 0.0,
-               pcie_fault_rate: float = 0.0) -> "ChaosSchedule":
-        """Draw Poisson fault arrivals over ``[0, duration_s]``.
+               pcie_fault_rate: float = 0.0,
+               start_s: float = 0.0) -> "ChaosSchedule":
+        """Draw Poisson fault arrivals over ``[start_s, start_s+duration_s]``.
 
-        Rates are events per second.  Worker kills are capped at
-        ``len(workers) - 1`` distinct victims so at least one worker always
-        survives to recover onto.  Each fault family draws from its own
-        derived stream, so turning one rate up does not perturb the others.
+        Rates are events per second.  Arrivals use the conditional-
+        uniformity construction (draw ``n ~ Poisson(rate * duration)``,
+        then ``n`` uniforms over the window) rather than summing
+        exponential gaps: the distributions are identical, but a window
+        only a couple of mean gaps long no longer degenerates to "first
+        arrival past the end, zero faults" for an unlucky seed — every
+        drawn fault is guaranteed to land *inside* the job window.
+
+        Worker kills are capped at ``len(workers) - 1`` distinct victims so
+        at least one worker always survives to recover onto.  Each fault
+        family draws from its own derived stream, so turning one rate up
+        does not perturb the others.
         """
         schedule = cls()
+
+        def arrivals(rng, rate: float) -> List[float]:
+            n = int(rng.poisson(rate * duration_s))
+            return sorted(start_s + float(u)
+                          for u in rng.uniform(0.0, duration_s, size=n))
+
         if worker_kill_rate > 0 and len(workers) > 1:
             rng = generator(seed, "chaos", "worker-kill")
-            t, victims = 0.0, set()
-            while len(victims) < len(workers) - 1:
-                t += float(rng.exponential(1.0 / worker_kill_rate))
-                if t >= duration_s:
+            victims: set = set()
+            for t in arrivals(rng, worker_kill_rate):
+                if len(victims) >= len(workers) - 1:
                     break
                 alive = [w for w in workers if w not in victims]
                 victim = alive[int(rng.integers(len(alive)))]
@@ -202,22 +216,14 @@ class ChaosSchedule:
                 schedule.kill_worker(victim, at=t)
         if gpu_fault_rate > 0 and gpus_per_worker > 0:
             rng = generator(seed, "chaos", "gpu-fault")
-            t = 0.0
-            while True:
-                t += float(rng.exponential(1.0 / gpu_fault_rate))
-                if t >= duration_s:
-                    break
+            for t in arrivals(rng, gpu_fault_rate):
                 worker = workers[int(rng.integers(len(workers)))]
                 device = int(rng.integers(gpus_per_worker))
                 kind = GPU_FAULT_KINDS[int(rng.integers(len(GPU_FAULT_KINDS)))]
                 schedule.fail_gpu(worker, device, at=t, kind=kind)
         if pcie_fault_rate > 0 and gpus_per_worker > 0:
             rng = generator(seed, "chaos", "pcie-fault")
-            t = 0.0
-            while True:
-                t += float(rng.exponential(1.0 / pcie_fault_rate))
-                if t >= duration_s:
-                    break
+            for t in arrivals(rng, pcie_fault_rate):
                 worker = workers[int(rng.integers(len(workers)))]
                 device = int(rng.integers(gpus_per_worker))
                 kind = PCIE_FAULT_KINDS[

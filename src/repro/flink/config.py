@@ -90,11 +90,36 @@ class FlinkConfig:
     # events, so the simulated clock is identical either way.
     enable_tracing: bool = False
 
+    # Execution architecture (docs/STREAMING_EXECUTOR.md).  "staged" runs
+    # one operator wave at a time with a full barrier between operators;
+    # "pipelined" streams HDFS blocks through whole pipeline regions with a
+    # bounded per-operator block queue, overlapping read / CPU / H2D /
+    # kernel / D2H within a region.  Job *results* are bit-identical
+    # between the two; only the simulated clock differs.
+    executor: str = "pipelined"
+    # Bounded block-queue depth between adjacent pipelined operators: a
+    # producer that runs this many blocks ahead of its slowest consumer
+    # stalls (backpressure) until credits return.
+    pipeline_queue_blocks: int = 4
+    # Streaming granularity: HDFS blocks are far coarser (tens to hundreds
+    # of MB) than useful pipeline quanta, so the source splits each block's
+    # read into sub-blocks of at most this many bytes and publishes them as
+    # the read progresses.  Smaller values overlap more but wake consumers
+    # more often; bench_pipeline.py sweeps this knob.
+    pipeline_block_nbytes: float = 8 * 2**20
+
     def __post_init__(self) -> None:
         if self.page_size <= 0:
             raise ConfigError("page_size must be positive")
         if self.serde_bps <= 0 or self.heap_copy_bps <= 0:
             raise ConfigError("bandwidths must be positive")
+        if self.executor not in ("staged", "pipelined"):
+            raise ConfigError(
+                f"executor must be 'staged' or 'pipelined': {self.executor!r}")
+        if self.pipeline_queue_blocks < 1:
+            raise ConfigError("pipeline_queue_blocks must be >= 1")
+        if self.pipeline_block_nbytes <= 0:
+            raise ConfigError("pipeline_block_nbytes must be positive")
 
 
 @dataclass(frozen=True)

@@ -75,6 +75,16 @@ class ExecutionGraph:
         """The job vertex compiled for ``op``."""
         return self.vertices[op.uid]
 
+    def pipeline_regions(self) -> List[List[Operator]]:
+        """Operators grouped into streaming pipeline regions.
+
+        See :func:`repro.flink.optimizer.pipeline_regions`; the pipelined
+        executor annotates spans with the region index and the docs use it
+        to explain where blocks flow versus where they materialize.
+        """
+        from repro.flink.optimizer import pipeline_regions
+        return pipeline_regions(self.order)
+
     @property
     def total_subtasks(self) -> int:
         """Number of subtasks across the whole graph."""

@@ -105,7 +105,9 @@ class TaskContext:
 
     def __init__(self, cluster: "Cluster", vertex: ExecutionVertex,
                  metrics: JobMetrics, n_subtasks: int,
-                 preassigned_partition: Optional[Partition] = None):
+                 preassigned_partition: Optional[Partition] = None,
+                 in_stream=None, in_slot: Optional[int] = None,
+                 out_stream=None):
         self.cluster = cluster
         self.env: Environment = cluster.env
         self.worker = cluster.workers[vertex.worker]
@@ -119,6 +121,41 @@ class TaskContext:
         self.n_subtasks = n_subtasks
         self.assigned_blocks = vertex.assigned_blocks
         self.preassigned_partition = preassigned_partition
+        self.op_name = vertex.op.name
+        # Pipelined executor wiring (repro.flink.pipeline.BlockStream):
+        # ``in_stream`` carries the input partition's block availability
+        # (``in_slot`` is this consumer's subscriber cursor), ``out_stream``
+        # is where this subtask publishes its own blocks.  All None under
+        # the staged executor.  Per-attempt: a retry gets a fresh context,
+        # so its charges replay from the start (streams are idempotent).
+        self.in_stream = in_stream
+        self.in_slot = in_slot
+        self.out_stream = out_stream
+        self._stream_consumed = False
+
+    def stream_reserve(self, stream, block_index: int
+                       ) -> Generator[Event, None, None]:
+        """Producer-side credit wait on a bounded block stream.
+
+        Records a backpressure stall span on this worker's "pipeline" lane
+        (plus registry counters) whenever the queue is actually full.
+        """
+        evt = stream.reserve(block_index)
+        if evt.triggered:
+            yield evt
+            return
+        stream.stall_count += 1
+        obs = self.cluster.obs
+        obs.registry.counter("pipeline.backpressure.stalls",
+                             op=self.op_name).inc()
+        tracer = obs.tracer
+        t0 = self.env.now
+        with tracer.span("backpressure", "pipeline",
+                         tracer.track(self.worker.name, "pipeline"),
+                         op=self.op_name, subtask=self.subtask_index,
+                         block=block_index):
+            yield evt
+        stream.stall_seconds += self.env.now - t0
 
     def charge_compute(self, nominal_elements: float,
                        flops_per_element: float,
@@ -130,6 +167,13 @@ class TaskContext:
         the iterator model of §3.1: each element pays a virtual call before
         its arithmetic.  ``element_overhead_s`` overrides the engine default
         for object-heavy UDFs (see :class:`repro.flink.plan.OpCost`).
+
+        Under the pipelined executor the *first* charge of a streaming
+        consumer is interleaved with upstream block arrivals: the per-block
+        share of the total waits for that block to be published, then (if
+        this operator relays a stream) republishes it downstream.  The cost
+        model is linear, so the interleaved charges sum to exactly the
+        staged total; only the clock shape differs.
         """
         overhead = (self.config.flink.element_overhead_s
                     if element_overhead_s is None else element_overhead_s)
@@ -137,6 +181,28 @@ class TaskContext:
                        + flops_per_element / self.config.cpu.flops_per_core)
         seconds = nominal_elements * per_element
         self.metrics.compute_s += seconds
+        stream = self.in_stream
+        if (stream is not None and not self._stream_consumed
+                and stream.n_blocks > 0 and stream.total_nbytes > 0):
+            self._stream_consumed = True
+            out = self.out_stream
+            charged = 0.0
+            for k in range(stream.n_blocks):
+                if out is not None:
+                    yield from self.stream_reserve(out, k)
+                yield stream.when_blocks(k + 1)
+                # Last block absorbs rounding so the sum is exact.
+                target = seconds if k == stream.n_blocks - 1 else (
+                    seconds * stream.cum_nbytes(k + 1) / stream.total_nbytes)
+                if target > charged:
+                    yield self.env.timeout(target - charged)
+                    charged = target
+                stream.ack(self.in_slot, k + 1)
+                if out is not None:
+                    out.publish(k)
+            if out is not None:
+                out.close()
+            return
         yield self.env.timeout(seconds)
 
     def hdfs_append(self, path: str, payload: Any,
@@ -185,17 +251,23 @@ class JobManager:
             scheduler = Scheduler(self.config.worker_names(), tracer=tracer,
                                   health=self.cluster.worker_is_alive)
 
-            for op in graph.order:
-                if op.uid in self.cluster.materialized:
-                    # Persisted from an earlier job — but a worker loss may
-                    # have taken some of its partitions down with it; lineage
-                    # recovery recomputes exactly those.
-                    yield from self._recover_dataset(
-                        op, graph, scheduler, metrics, failure_injector)
-                    continue
-                yield from self._run_operator(op, graph, scheduler, metrics,
-                                              failure_injector)
-                metrics.materialized_uids.add(op.uid)
+            if flink.executor == "pipelined":
+                from repro.flink.pipeline import PipelinedExecutor
+                executor = PipelinedExecutor(self, graph, scheduler,
+                                             metrics, failure_injector)
+                yield from executor.run()
+            else:
+                for op in graph.order:
+                    if op.uid in self.cluster.materialized:
+                        # Persisted from an earlier job — but a worker loss
+                        # may have taken some of its partitions down with
+                        # it; lineage recovery recomputes exactly those.
+                        yield from self._recover_dataset(
+                            op, graph, scheduler, metrics, failure_injector)
+                        continue
+                    yield from self._run_operator(op, graph, scheduler,
+                                                  metrics, failure_injector)
+                    metrics.materialized_uids.add(op.uid)
 
             metrics.finished_at = self.env.now
         metrics.hdfs_read_bytes = (self.cluster.hdfs.total_bytes_read()
@@ -359,7 +431,10 @@ class JobManager:
                      preassigned: Optional[Partition],
                      n_subtasks: int, metrics: JobMetrics,
                      injector: Optional[FailureInjector],
-                     scheduler: Scheduler
+                     scheduler: Scheduler,
+                     needs_slot: bool = True,
+                     in_stream=None, in_slot: Optional[int] = None,
+                     out_stream=None
                      ) -> Generator[Event, None, Partition]:
         op = vertex.op
         flink = self.config.flink
@@ -379,8 +454,10 @@ class JobManager:
             worker_lost = False
             worker.taskmanager.register_running(proc)
             try:
-                with worker.taskmanager.slots.request() as slot:
-                    yield slot
+                with worker.taskmanager.claim_slot(
+                        shared=not needs_slot) as slot:
+                    if slot is not None:
+                        yield slot
                     with tracer.span(f"{op.name}[{vertex.subtask_index}]",
                                      "task", task_track, op=op.name,
                                      subtask=vertex.subtask_index,
@@ -390,7 +467,10 @@ class JobManager:
                         yield self.env.timeout(overhead)
                         ctx = TaskContext(self.cluster, vertex, metrics,
                                           n_subtasks,
-                                          preassigned_partition=preassigned)
+                                          preassigned_partition=preassigned,
+                                          in_stream=in_stream,
+                                          in_slot=in_slot,
+                                          out_stream=out_stream)
                         try:
                             if injector is not None and injector.check(
                                     op.name, vertex.subtask_index,
@@ -405,8 +485,21 @@ class JobManager:
                                 raise TaskFailure(op.name,
                                                   vertex.subtask_index,
                                                   vertex.attempts)
-                            partition = yield from op.execute_subtask(ctx,
-                                                                      inputs)
+                            if out_stream is not None \
+                                    and isinstance(op, HdfsSource):
+                                partition = yield from op.execute_streaming(
+                                    ctx, out_stream)
+                            else:
+                                partition = yield from op.execute_subtask(
+                                    ctx, inputs)
+                            if in_stream is not None:
+                                # A consumer may not outrun its input's
+                                # timing plane (e.g. a zero-cost relay).
+                                yield in_stream.when_blocks(
+                                    in_stream.n_blocks)
+                                in_stream.ack_all(in_slot)
+                            if out_stream is not None:
+                                out_stream.close()
                         except TaskFailure as exc:
                             sp.set(failed=True)
                             failure = exc

@@ -93,6 +93,43 @@ class FusedMapOp(Operator):
                          scale=scale, worker=part.worker)
 
 
+def pipeline_regions(order: List[Operator]) -> List[List[Operator]]:
+    """Group a topological operator order into pipeline regions.
+
+    A pipeline region is a maximal set of operators connected by streaming
+    edges (forward/union — :attr:`ShipStrategy.is_streaming`): within one
+    region the pipelined executor can flow individual blocks end to end.
+    Barrier edges (hash, gather, broadcast, rebalance) cut regions: they
+    need every producer partition before any consumer record is routable —
+    the hash-shuffle build sides and iteration-superstep boundaries.
+
+    An operator with *any* barrier input belongs to a fresh region (it
+    cannot start before all its inputs finish, even on its streaming
+    edges).
+    """
+    regions: List[List[Operator]] = []
+    region_of: Dict[int, int] = {}
+    for op in order:
+        upstream = set()
+        if op.inputs and all(s.is_streaming for s in op.strategies):
+            upstream = {region_of[inp.uid] for inp in op.inputs
+                        if inp.uid in region_of}
+        if not upstream:
+            region_of[op.uid] = len(regions)
+            regions.append([op])
+            continue
+        keep = min(upstream)
+        for other in upstream - {keep}:
+            regions[keep].extend(regions[other])
+            regions[other] = []
+            for uid, r in region_of.items():
+                if r == other:
+                    region_of[uid] = keep
+        regions[keep].append(op)
+        region_of[op.uid] = keep
+    return [r for r in regions if r]
+
+
 def _chainable(op: Operator, consumers: Counter) -> bool:
     """Chain members: element-wise, default parallelism, privately
     consumed, not persisted (persisted datasets keep their identity for

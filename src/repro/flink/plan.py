@@ -43,6 +43,20 @@ class ShipStrategy(Enum):
     UNION_LEFT = "union-left"    # partition i -> subtask i (union, no move)
     UNION_RIGHT = "union-right"  # partition i -> subtask p_left + i
 
+    @property
+    def is_streaming(self) -> bool:
+        """True for edges the pipelined executor streams block-by-block.
+
+        Point-to-point edges (forward, union) preserve partitioning, so a
+        consumer subtask can start as soon as its one producer starts
+        emitting.  Hash/gather/broadcast/rebalance edges need *every*
+        producer partition before any consumer record is routable — they
+        are the true pipeline-region barriers (hash-shuffle build sides,
+        iteration supersteps).
+        """
+        return self in (ShipStrategy.FORWARD, ShipStrategy.UNION_LEFT,
+                        ShipStrategy.UNION_RIGHT)
+
 
 @dataclass(frozen=True)
 class OpCost:
@@ -187,6 +201,123 @@ class HdfsSource(Operator):
                          element_nbytes=self.element_nbytes,
                          scale=self.scale, worker=ctx.worker.name)
 
+    def peek_output(self, blocks, subtask_index: int,
+                    worker: Optional[str]) -> Partition:
+        """The partition this subtask will produce, with no time charged.
+
+        Block *metadata* carries the payload (the simulation stores real
+        sample data by reference), so the functional value of a source
+        partition is known the moment blocks are assigned.  The pipelined
+        executor uses this "data plane" view to wire downstream consumers
+        while the "timing plane" still streams disk reads block by block;
+        :meth:`execute_subtask` and :meth:`execute_streaming` return a
+        bit-identical partition.
+        """
+        elements = _concat([self.parser(b.payload) for b in blocks])
+        return Partition(index=subtask_index, elements=elements,
+                         element_nbytes=self.element_nbytes,
+                         scale=self.scale, worker=worker)
+
+    def execute_streaming(self, ctx, stream):
+        """Pipelined subtask body: sub-block read + deserialize + publish.
+
+        Identical charges to :meth:`execute_subtask` — the same per-block
+        disk spans (their linear portion sliced at sub-block marks, sum
+        unchanged) and the same per-block deserialize total (split across
+        sub-blocks, last absorbing rounding) — but each sub-block is
+        published into ``stream`` the moment its bytes are host-resident
+        *and* its deserialize share has been charged, so downstream
+        operators overlap with the read.  A side "reader" process charges
+        the disk/network time and runs at most one HDFS block ahead of
+        publication (bounded read-ahead); the publish loop stalls on
+        backpressure when the bounded queue is full.
+        """
+        from repro.common.simclock import Event
+
+        env = ctx.env
+        blocks = ctx.assigned_blocks
+        # Recover the per-HDFS-block sub-chunk grouping from the stream's
+        # plan (the executor built that plan by splitting exactly these
+        # blocks): per block, the chunk marks as offsets within the block.
+        eps = 1e-6 * max(1.0, stream.total_nbytes)
+        groups: List[tuple] = []   # (first chunk index, marks within block)
+        offsets: List[float] = []  # cumulative bytes before each block
+        chunk, base = 0, 0.0
+        for block in blocks:
+            end = base + block.nbytes
+            first, marks = chunk, []
+            while (chunk < stream.n_blocks
+                   and stream.cum_nbytes(chunk + 1) <= end + eps):
+                marks.append(stream.cum_nbytes(chunk + 1) - base)
+                chunk += 1
+            groups.append((first, marks))
+            offsets.append(base)
+            base = end
+        # Data plane is eager (replica payloads are held by reference on
+        # block metadata), so every block's deserialize charge is known
+        # before its read even starts — required to publish mid-read.
+        parsed = [self.parser(b.payload) for b in blocks]
+        deser = []
+        for p in parsed:
+            n = real_len(p) * self.scale
+            deser.append(ctx.serializer.deserialize_time(
+                n * self.element_nbytes, n))
+
+        state = {"avail": 0.0, "err": None, "evt": Event(env)}
+
+        def _notify():
+            evt = state["evt"]
+            state["evt"] = Event(env)
+            if not evt.triggered:
+                evt.succeed()
+
+        def reader():
+            try:
+                for b_idx, block in enumerate(blocks):
+                    first, marks = groups[b_idx]
+                    if first < stream.n_blocks:
+                        # Bounded read-ahead: hold the next block's read
+                        # until its first sub-block could be published.
+                        yield stream.reserve(first)
+
+                    def on_chunk(cum, _base=offsets[b_idx]):
+                        state["avail"] = _base + cum
+                        _notify()
+
+                    yield from ctx.hdfs.read_block(
+                        block, ctx.worker.name, (marks, on_chunk))
+                    state["avail"] = offsets[b_idx] + block.nbytes
+                    _notify()
+            except BaseException as exc:  # noqa: BLE001 — forwarded
+                state["err"] = exc
+                _notify()
+
+        env.process(reader(),
+                    name=f"{self.name}[{ctx.subtask_index}]:reader")
+
+        for b_idx, block in enumerate(blocks):
+            first, marks = groups[b_idx]
+            charged = 0.0
+            span = block.nbytes or 1.0
+            for j, mark in enumerate(marks):
+                while (state["err"] is None
+                       and state["avail"] + eps < offsets[b_idx] + mark):
+                    yield state["evt"]
+                if state["err"] is not None:
+                    raise state["err"]
+                target = (deser[b_idx] if j == len(marks) - 1
+                          else deser[b_idx] * mark / span)
+                if target > charged:
+                    yield env.timeout(target - charged)
+                    charged = target
+                yield from ctx.stream_reserve(stream, first + j)
+                stream.publish(first + j)
+        stream.close()
+        elements = _concat(parsed)
+        return Partition(index=ctx.subtask_index, elements=elements,
+                         element_nbytes=self.element_nbytes,
+                         scale=self.scale, worker=ctx.worker.name)
+
 
 def _concat(payloads: List[Any]) -> Any:
     if not payloads:
@@ -220,11 +351,23 @@ class _ElementWise(Operator):
         yield from ctx.charge_compute(part.nominal_count,
                                       self.cost.flops_per_element,
                                       self.cost.element_overhead_s)
+        return self.functional_output(part, ctx.subtask_index,
+                                      ctx.worker.name)
+
+    def functional_output(self, part: Partition, subtask_index: int,
+                          worker: Optional[str]) -> Partition:
+        """Apply the transform with no simulated time charged.
+
+        The pipelined executor evaluates this early (UDFs are pure in the
+        simulation) so downstream consumers can be wired up while this
+        operator's timing plane is still streaming; the subtask's own
+        :meth:`execute_subtask` produces a bit-identical partition.
+        """
         out_elements = self._transform(part.elements)
         out_scale = self._output_scale(part, out_elements)
-        return Partition(index=ctx.subtask_index, elements=out_elements,
+        return Partition(index=subtask_index, elements=out_elements,
                          element_nbytes=self.out_element_nbytes(part),
-                         scale=out_scale, worker=ctx.worker.name)
+                         scale=out_scale, worker=worker)
 
     def _output_scale(self, part: Partition, out_elements: Any) -> float:
         real_out = real_len(out_elements)

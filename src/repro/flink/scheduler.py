@@ -158,6 +158,27 @@ class Scheduler:
             self._trace_place(op.name, vertex.subtask_index, vertex.worker,
                               reason)
 
+    def schedule_subtask(self, vertex: ExecutionVertex,
+                         colocate: Optional[str] = None) -> str:
+        """Lazily place one subtask (pipelined executor).
+
+        Streamed edges (forward/union) preserve partitioning, so a consumer
+        subtask is placed the moment its producer partition's home is known:
+        co-located with it when that worker is healthy, otherwise on the
+        least-loaded healthy worker.  This is the per-subtask counterpart of
+        :meth:`schedule_consumer`, which places a whole wave at once.
+        """
+        if colocate is not None and colocate in self._load \
+                and self._is_healthy(colocate):
+            vertex.worker = self._assign(colocate)
+            reason = "colocate-input"
+        else:
+            vertex.worker = self._assign(self._least_loaded())
+            reason = "spread"
+        self._trace_place(vertex.op.name, vertex.subtask_index,
+                          vertex.worker, reason)
+        return vertex.worker
+
     # -- retry re-placement ---------------------------------------------------------
     def reschedule(self, vertex: ExecutionVertex,
                    avoid: Iterable[str] = (),

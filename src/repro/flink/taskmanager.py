@@ -11,6 +11,26 @@ from repro.flink.memory import MemoryManager
 from repro.flink.partition import Partition
 
 
+class _SharedSlot:
+    """A no-op slot claim for pipelined slot-sharing subtasks.
+
+    Streaming consumers ride their upstream producer's slot (Flink's slot
+    sharing groups): a source subtask that holds a slot for the whole read
+    also covers the map/GPU subtasks it feeds.  Claiming a second slot per
+    pipeline stage would deadlock — the sources would hold every slot while
+    the consumers they feed queue for one.
+    """
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_SHARED_SLOT = _SharedSlot()
+
+
 class TaskManager:
     """Executes subtasks in task slots on one worker node.
 
@@ -37,6 +57,16 @@ class TaskManager:
         # JobManager's retry loop catches the InterruptError and re-places
         # the attempt after failure detection.
         self._running: List[Process] = []
+
+    # -- slots ----------------------------------------------------------------
+    def claim_slot(self, shared: bool = False):
+        """A slot claim for one subtask attempt.
+
+        ``shared=True`` (pipelined streaming consumers) returns a no-op
+        claim: the subtask shares its producer's slot instead of occupying
+        one of its own.  Otherwise a normal FIFO slot request.
+        """
+        return _SHARED_SLOT if shared else self.slots.request()
 
     # -- process registry (fault tolerance) -------------------------------------
     def register_running(self, process: Process) -> None:

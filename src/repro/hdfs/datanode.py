@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Generator
+from typing import Callable, Dict, Generator, Optional, Sequence, Tuple
 
 from repro.common.errors import ConfigError
 from repro.common.resources import Resource
@@ -66,8 +66,20 @@ class DataNode:
             self._blocks[block.block_id] = block
             self.bytes_written += block.nbytes
 
-    def read_block(self, block_id: int) -> Generator[Event, None, Block]:
-        """Simulation process: read a replica; returns the :class:`Block`."""
+    def read_block(self, block_id: int,
+                   progress: Optional[
+                       Tuple[Sequence[float], Callable[[float], None]]
+                   ] = None) -> Generator[Event, None, Block]:
+        """Simulation process: read a replica; returns the :class:`Block`.
+
+        ``progress``, when given, is ``(marks, callback)``: ``marks`` are
+        cumulative byte offsets within the block and ``callback(cum)`` is
+        invoked as the read crosses each one.  The linear transfer portion
+        is charged in per-mark slices whose sum equals the single-shot
+        charge, so total disk time is identical with or without it — the
+        callback only exposes *when* a byte prefix is resident (the
+        pipelined executor's streaming source publishes on it).
+        """
         if not self.alive:
             raise ConfigError(f"datanode {self.name!r} is down")
         if block_id not in self._blocks:
@@ -76,8 +88,23 @@ class DataNode:
         block = self._blocks[block_id]
         with self._io.request() as req:
             yield req
-            yield self.env.timeout(
-                self.disk.seek_s + block.nbytes / self.disk.read_bps)
+            if progress is None:
+                yield self.env.timeout(
+                    self.disk.seek_s + block.nbytes / self.disk.read_bps)
+            else:
+                marks, callback = progress
+                yield self.env.timeout(self.disk.seek_s)
+                done = 0.0
+                for cum in marks:
+                    cum = min(float(cum), float(block.nbytes))
+                    if cum > done:
+                        yield self.env.timeout(
+                            (cum - done) / self.disk.read_bps)
+                        done = cum
+                    callback(done)
+                if done < block.nbytes:
+                    yield self.env.timeout(
+                        (block.nbytes - done) / self.disk.read_bps)
             self.bytes_read += block.nbytes
         return block
 

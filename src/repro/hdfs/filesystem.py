@@ -118,14 +118,20 @@ class HDFS:
         if self.obs is not None and first:
             self.obs.registry.counter("hdfs.blocks.written").inc()
 
-    def read_block(self, block: Block,
-                   at_node: str) -> Generator[Event, None, object]:
+    def read_block(self, block: Block, at_node: str,
+                   progress=None) -> Generator[Event, None, object]:
         """Simulation process: read one block's payload from ``at_node``.
 
         Charges local disk time if a live replica is local; otherwise disk
         time on the first live remote replica plus a network transfer to
         ``at_node``.  Dead datanodes are skipped (replica failover); when no
         live replica remains the read fails.
+
+        ``progress`` is an optional ``(marks, callback)`` pair (cumulative
+        byte offsets within the block); ``callback(cum)`` fires as each
+        prefix becomes resident *at* ``at_node`` — during the disk read for
+        a local replica, during the network leg for a remote one.  Charges
+        are sliced, never added: total time is identical either way.
         """
         live = [node for node in block.replicas
                 if self.datanodes[node].alive]
@@ -138,13 +144,13 @@ class HDFS:
                         block=block.index, local=local):
             if local:
                 stored = yield from self.datanodes[at_node].read_block(
-                    block.block_id)
+                    block.block_id, progress)
             else:
                 source = live[0]
                 stored = yield from self.datanodes[source].read_block(
                     block.block_id)
                 yield from self.network.transfer(source, at_node,
-                                                 block.nbytes)
+                                                 block.nbytes, progress)
         if self.obs is not None:
             self.obs.registry.counter(
                 "hdfs.reads", locality="local" if local else "remote").inc()

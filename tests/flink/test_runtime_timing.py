@@ -36,8 +36,14 @@ class TestIteratorCostModel:
         assert result.seconds >= session.cluster.config.flink.job_submit_s
 
     def test_more_cores_speed_up_parallel_map(self):
+        # Staged executor: the map wave starts only after the whole source
+        # wave finished, so the phase ratio is exactly the slot ratio.  The
+        # pipelined executor overlaps the waves (a consumer subtask starts
+        # on its own producer's final), which is measured in
+        # tests/flink/test_pipeline.py instead.
         def runtime(cores):
-            cluster = make_cluster(n_workers=1, cores=cores)
+            cluster = make_cluster(n_workers=1, cores=cores,
+                                   executor="staged")
             sess = FlinkSession(cluster)
             # element_nbytes=0 isolates compute from source-shipping time.
             ds = sess.from_collection(list(range(1000)), element_nbytes=0.0,
@@ -69,7 +75,9 @@ class TestIteratorCostModel:
 class TestSlotContention:
     def test_tasks_queue_when_slots_exhausted(self):
         # 1 worker x 1 slot, 4 subtasks of equal compute -> ~4x serial time.
-        cluster = make_cluster(n_workers=1, cores=1)
+        # Staged: waves never overlap, so the ratio is exact (the pipelined
+        # executor lets map subtasks contend with the source wave's tail).
+        cluster = make_cluster(n_workers=1, cores=1, executor="staged")
         session = FlinkSession(cluster)
         ds = session.from_collection(list(range(400)), scale=1e4,
                                      parallelism=4)
@@ -77,7 +85,7 @@ class TestSlotContention:
                         name="m").count()
         span_serial = serial.metrics.span_of("m").seconds
 
-        cluster4 = make_cluster(n_workers=1, cores=4)
+        cluster4 = make_cluster(n_workers=1, cores=4, executor="staged")
         session4 = FlinkSession(cluster4)
         ds4 = session4.from_collection(list(range(400)), scale=1e4,
                                        parallelism=4)
