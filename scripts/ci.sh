@@ -63,6 +63,20 @@ if [[ "${1:-}" != "--fast" ]]; then
         --out traces/ci_chaos_wordcount.json
     python -m repro.obs.validate traces/ci_chaos_wordcount.json
 
+    echo "== monitored chaos smoke: alerts fire+resolve, summary + dashboard =="
+    # Runs wordcount under a worker kill with the online monitor: the
+    # command exits non-zero unless worker_unhealthy fired AND resolved
+    # (and on any unresolved critical alert); availability=0.5 is a
+    # deliberately forgiving gate so retry burn is reported, not fatal.
+    python -m repro monitor wordcount --mode gpu --workers 4 --real 4000 \
+        --kill worker1@150 --gpu-fail worker0:0@10 --backoff 0.05 \
+        --expect-alert worker_unhealthy --slo availability=0.5 \
+        --summary-out traces/ci_monitor_summary.json \
+        --dashboard-out traces/ci_monitor_dashboard.html
+    python -m repro.obs.validate traces/ci_monitor_summary.json
+    test -s traces/ci_monitor_dashboard.html
+    grep -q '<svg' traces/ci_monitor_dashboard.html
+
     echo "== bench smoke: GPU chaining ablation + cache policies =="
     python -m pytest -q \
         benchmarks/bench_ablation_gpu_chaining.py \

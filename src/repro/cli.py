@@ -8,6 +8,9 @@ Examples::
     python -m repro trace wordcount --out traces/wordcount.json
     python -m repro metrics kmeans --mode gpu
     python -m repro chaos wordcount --kill worker1@40 --gpu-fail worker0:0@10
+    python -m repro monitor wordcount --kill worker1@40 \\
+        --expect-alert worker_unhealthy --dashboard-out dash.html
+    python -m repro metrics kmeans --format prom
     python -m repro profile traces/wordcount-gpu.json
     python -m repro profile traces/run.json --baseline traces/base.json
     python -m repro specs
@@ -71,6 +74,34 @@ def _add_run_options(p: argparse.ArgumentParser, single_mode: bool) -> None:
                         "or streaming block-pipelined (default)")
 
 
+def _add_fault_options(p: argparse.ArgumentParser) -> None:
+    """Fault-schedule options shared by ``chaos`` and ``monitor``."""
+    p.add_argument("--kill", action="append", default=[],
+                   metavar="WORKER@T",
+                   help="kill WORKER at simulated time T (e.g. worker1@40)")
+    p.add_argument("--gpu-fail", action="append", default=[],
+                   metavar="WORKER[:DEV]@T[:KIND]",
+                   help="fault a GPU at time T; KIND is gpu-ecc "
+                        "(default), gpu-oom or gpu-hang")
+    p.add_argument("--pcie-fault", action="append", default=[],
+                   metavar="WORKER[:DEV]@T[:KIND]",
+                   help="fault a PCIe transfer at time T; KIND is "
+                        "pcie-corrupt (default) or pcie-timeout")
+    p.add_argument("--chaos-seed", type=int, default=None,
+                   help="seed for the random fault schedule "
+                        "(default: the run seed)")
+    p.add_argument("--duration", type=float, default=120.0,
+                   help="random-fault window in simulated seconds")
+    p.add_argument("--worker-kill-rate", type=float, default=0.0,
+                   help="random worker kills per simulated second")
+    p.add_argument("--gpu-fault-rate", type=float, default=0.0,
+                   help="random GPU faults per simulated second")
+    p.add_argument("--pcie-fault-rate", type=float, default=0.0,
+                   help="random PCIe faults per simulated second")
+    p.add_argument("--backoff", type=float, default=0.05,
+                   help="retry back-off base seconds (0 disables)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -93,43 +124,48 @@ def build_parser() -> argparse.ArgumentParser:
         "metrics", help="run one workload, print/write its metrics snapshot")
     _add_run_options(metrics, single_mode=True)
     metrics.add_argument("--out", default=None,
-                         help="write JSON here instead of printing text")
+                         help="write the snapshot here instead of printing")
+    metrics.add_argument("--format", choices=("text", "json", "prom"),
+                         default=None,
+                         help="snapshot format: text (default when "
+                              "printing), json (default with --out) or "
+                              "prom (Prometheus text exposition)")
 
     chaos = sub.add_parser(
         "chaos",
         help="run one workload under a fault schedule, verify the result "
              "against a fault-free run, print a resilience report")
     _add_run_options(chaos, single_mode=True)
-    chaos.add_argument("--kill", action="append", default=[],
-                       metavar="WORKER@T",
-                       help="kill WORKER at simulated time T "
-                            "(e.g. worker1@40)")
-    chaos.add_argument("--gpu-fail", action="append", default=[],
-                       metavar="WORKER[:DEV]@T[:KIND]",
-                       help="fault a GPU at time T; KIND is gpu-ecc "
-                            "(default), gpu-oom or gpu-hang")
-    chaos.add_argument("--pcie-fault", action="append", default=[],
-                       metavar="WORKER[:DEV]@T[:KIND]",
-                       help="fault a PCIe transfer at time T; KIND is "
-                            "pcie-corrupt (default) or pcie-timeout")
-    chaos.add_argument("--chaos-seed", type=int, default=None,
-                       help="seed for the random fault schedule "
-                            "(default: the run seed)")
-    chaos.add_argument("--duration", type=float, default=120.0,
-                       help="random-fault window in simulated seconds")
-    chaos.add_argument("--worker-kill-rate", type=float, default=0.0,
-                       help="random worker kills per simulated second")
-    chaos.add_argument("--gpu-fault-rate", type=float, default=0.0,
-                       help="random GPU faults per simulated second")
-    chaos.add_argument("--pcie-fault-rate", type=float, default=0.0,
-                       help="random PCIe faults per simulated second")
-    chaos.add_argument("--backoff", type=float, default=0.05,
-                       help="retry back-off base seconds (0 disables)")
+    _add_fault_options(chaos)
     chaos.add_argument("--no-cpu-fallback", action="store_true",
                        help="fail GPU operators instead of degrading to CPU "
                             "when every device is blacklisted")
     chaos.add_argument("--out", default=None,
                        help="also write the chaos run's Chrome trace here")
+
+    monitor = sub.add_parser(
+        "monitor",
+        help="run one workload with the online monitor (optionally under "
+             "a fault schedule): SLOs, alerts, health, HTML dashboard")
+    _add_run_options(monitor, single_mode=True)
+    _add_fault_options(monitor)
+    monitor.add_argument("--window", type=float, default=1.0,
+                         help="monitor window width in simulated seconds")
+    monitor.add_argument("--slo", action="append", default=[],
+                         metavar="KIND=TARGET",
+                         help="set an SLO target and gate on it: "
+                              "pNN=SECONDS (job latency, e.g. p99=30) or "
+                              "availability=FRAC (task success, e.g. "
+                              "availability=0.995); exit 1 on violation")
+    monitor.add_argument("--expect-alert", action="append", default=[],
+                         metavar="RULE",
+                         help="require this alert rule to have fired AND "
+                              "resolved during the run; exit 1 otherwise")
+    monitor.add_argument("--summary-out", default=None,
+                         help="write the monitor summary JSON here")
+    monitor.add_argument("--dashboard-out", default=None,
+                         help="write the self-contained HTML dashboard "
+                              "here")
 
     profile = sub.add_parser(
         "profile",
@@ -229,13 +265,29 @@ def _cmd_trace(args, out) -> int:
 
 def _cmd_metrics(args, out) -> int:
     cluster, result = _traced_run(args)
+    fmt = args.format or ("json" if args.out else "text")
+    registry = cluster.obs.registry
+    if fmt == "prom":
+        # Prometheus scrapes carry no banner line: the exposition must
+        # stand alone (the round-trip test parses CLI output verbatim).
+        if args.out:
+            from pathlib import Path
+            path = Path(args.out)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(registry.render_prometheus())
+            print(f"metrics: {path}", file=out)
+        else:
+            print(registry.render_prometheus(), file=out, end="")
+        return 0
     print(f"workload={args.workload} mode={args.mode} "
           f"total {result.total_seconds:.2f} s", file=out)
     if args.out:
-        write_metrics(cluster.obs.registry, args.out)
+        write_metrics(registry, args.out)
         print(f"metrics: {args.out}", file=out)
+    elif fmt == "json":
+        print(registry.to_json(), file=out)
     else:
-        print(cluster.obs.registry.render(), file=out)
+        print(registry.render(), file=out)
     return 0
 
 
@@ -350,6 +402,156 @@ def _cmd_chaos(args, out) -> int:
     return 1
 
 
+def _parse_slos(specs):
+    """``pNN=SECONDS`` / ``availability=FRAC`` → [(kind, q, target)]."""
+    parsed = []
+    for spec in specs:
+        kind, sep, value = spec.partition("=")
+        if not sep or not kind:
+            raise SystemExit(f"bad --slo spec {spec!r}: expected "
+                             f"pNN=SECONDS or availability=FRAC")
+        try:
+            target = float(value)
+        except ValueError:
+            raise SystemExit(f"bad --slo spec {spec!r}: "
+                             f"{value!r} is not a number")
+        if kind == "availability":
+            if not 0.0 < target < 1.0:
+                raise SystemExit(f"bad --slo spec {spec!r}: availability "
+                                 f"target must be in (0, 1)")
+            parsed.append(("availability", None, target))
+        elif kind.startswith("p") and kind[1:].isdigit():
+            q = float(f"0.{kind[1:]}")
+            parsed.append(("latency", q, target))
+        else:
+            raise SystemExit(f"bad --slo spec {spec!r}: unknown kind "
+                             f"{kind!r}")
+    return parsed
+
+
+def _render_monitor_report(summary, out) -> None:
+    """Human-readable digest of a monitor summary document."""
+    health = summary["health"]
+    print(f"cluster health {health['cluster']:.0f}/100  "
+          f"({summary['windows_closed']} windows of "
+          f"{summary['window_s']:g} s, {len(summary['series'])} series)",
+          file=out)
+    for worker in sorted(health["workers"]):
+        print(f"  {worker:<22} {health['workers'][worker]:.0f}/100",
+              file=out)
+    print("SLOs:", file=out)
+    for slo in summary["slos"]:
+        target = "tracking" if slo["target"] is None else \
+            f"target {slo['target']:g}"
+        print(f"  {slo['name']:<20} {slo['kind']:<13} {target:<16} "
+              f"{slo['events']} events, {slo['bad']} bad, "
+              f"burn {slo['burn_rate']:.2f}x, "
+              f"budget left {slo['budget_remaining_frac']:.1%}", file=out)
+    alerts = summary["alerts"]
+    if alerts:
+        print(f"alerts ({len(alerts)}):", file=out)
+        for a in alerts:
+            resolved = (f"resolved @ {a['resolved_at_s']:.2f} s"
+                        if a["resolved_at_s"] is not None else "UNRESOLVED")
+            print(f"  [{a['severity']:<8}] {a['rule']:<20} "
+                  f"{a['series']}  fired @ {a['fired_at_s']:.2f} s, "
+                  f"{resolved}", file=out)
+    else:
+        print("alerts: none fired", file=out)
+
+
+def _cmd_monitor(args, out) -> int:
+    import json as _json
+    from pathlib import Path
+
+    from repro.flink.report import resilience_report
+    from repro.obs.dashboard import write_dashboard
+    from repro.obs.monitor import validate_monitor_summary
+
+    gpus = tuple(g for g in args.gpus.split(",") if g)
+    slos = _parse_slos(args.slo)
+    schedule = _build_schedule(
+        args, ClusterConfig(n_workers=args.workers).worker_names(),
+        len(gpus) if args.mode == "gpu" else 0)
+
+    config = ClusterConfig(
+        n_workers=args.workers, cpu=CPUSpec(), gpus_per_worker=gpus,
+        flink=FlinkConfig(enable_tracing=True, enable_monitoring=True,
+                          monitor_window_s=args.window,
+                          retry_backoff_base_s=args.backoff,
+                          executor=args.executor))
+    cluster = GFlinkCluster(config)
+    mon = cluster.obs.monitor
+    for kind, q, target in slos:
+        if kind == "availability":
+            mon.set_availability_target(target)
+        else:
+            mon.set_latency_target(target, percentile=q)
+    engine = cluster.install_chaos(schedule) if len(schedule) else None
+    workload = _make_workload(args.workload, args)
+    result = workload.run(GFlinkSession(cluster), args.mode)
+    collect_cluster(cluster.obs.registry, cluster)
+    mon.finalize()
+    summary = mon.summary()
+
+    print(f"workload={args.workload} mode={args.mode} "
+          f"workers={args.workers} total {result.total_seconds:.2f} s "
+          f"faults={len(schedule)}", file=out)
+    _render_monitor_report(summary, out)
+    if engine is not None:
+        print(resilience_report(engine, result,
+                                registry=cluster.obs.registry), file=out)
+
+    errors = validate_monitor_summary(summary)
+    if errors:
+        for error in errors:
+            print(f"invalid monitor summary: {error}", file=out)
+        return 2
+    if args.summary_out:
+        path = Path(args.summary_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(_json.dumps(summary, indent=2) + "\n")
+        print(f"summary: {path}", file=out)
+    if args.dashboard_out:
+        write_dashboard(
+            summary, args.dashboard_out,
+            title=f"GMonitor: {args.workload} ({args.mode})")
+        print(f"dashboard: {args.dashboard_out}", file=out)
+
+    failed = False
+    by_rule = {}
+    for a in summary["alerts"]:
+        by_rule.setdefault(a["rule"], []).append(a)
+    for rule in args.expect_alert:
+        fired = by_rule.get(rule, [])
+        if not fired:
+            print(f"FAIL: expected alert {rule!r} never fired", file=out)
+            failed = True
+        elif not any(a["resolved_at_s"] is not None for a in fired):
+            print(f"FAIL: alert {rule!r} fired but never resolved",
+                  file=out)
+            failed = True
+    # Only explicitly requested SLO targets gate the exit code; the
+    # built-in tracking objectives report burn without failing the run.
+    explicit = {kind for kind, _, _ in slos}
+    for slo in summary["slos"]:
+        gated = ("latency" in explicit and slo["name"] == "job_latency") or \
+            ("availability" in explicit and slo["name"]
+             == "task_availability")
+        if gated and slo["violated"]:
+            print(f"FAIL: SLO {slo['name']} violated "
+                  f"(burn {slo['burn_rate']:.2f}x)", file=out)
+            failed = True
+    unresolved = [a for a in summary["alerts"]
+                  if a["severity"] == "critical"
+                  and a["resolved_at_s"] is None]
+    for a in unresolved:
+        print(f"FAIL: critical alert {a['rule']!r} still firing at end "
+              f"of run", file=out)
+        failed = True
+    return 1 if failed else 0
+
+
 def _parse_thresholds(specs):
     """``METRIC=REL`` pairs → threshold-override dict."""
     overrides = {}
@@ -436,6 +638,8 @@ def main(argv: Optional[list] = None, out=None) -> int:
         return _cmd_metrics(args, out)
     if args.command == "chaos":
         return _cmd_chaos(args, out)
+    if args.command == "monitor":
+        return _cmd_monitor(args, out)
     if args.command == "profile":
         return _cmd_profile(args, out)
     if args.command == "list":

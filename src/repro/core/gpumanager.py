@@ -75,6 +75,12 @@ class GPUManager:
                       name=f"{worker_name}-gpu{i}")
             for i, name in enumerate(gpu_spec_names)
         ]
+        if obs is not None:
+            # Health scoring per device, plus a pcie_saturated alert rule
+            # pinned to each device's calibrated bus ceiling.
+            for device in self.devices:
+                obs.monitor.register_device(
+                    device.name, pcie_bps=device.spec.pcie_effective_bps)
         self.runtime = CUDARuntime(env, self.devices, registry)
         self.wrapper = CUDAWrapper(env, self.runtime,
                                    self.config.comm_costs)

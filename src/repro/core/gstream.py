@@ -186,6 +186,8 @@ class GStream:
                             nbytes=int(hbuf.nbytes), operand=name)
             obs.registry.counter("gpu.pcie.h2d.bytes",
                                  device=device.name).inc(int(hbuf.nbytes))
+            obs.monitor.count("gpu.pcie.bytes", int(hbuf.nbytes),
+                              device=device.name)
             secondary[name] = dev_buf
         return secondary
 
@@ -205,6 +207,7 @@ class GStream:
         obs = self.manager.obs
         tracer = obs.tracer
         reg = obs.registry
+        monitor = obs.monitor
         # Distinct lanes per engine role make the paper's overlap argument
         # visible in Perfetto: kernels on one row, each copy direction on
         # its own, cache probes as markers.
@@ -258,12 +261,17 @@ class GStream:
                         evt = host_stream.when_fraction(host_cum / host_total)
                         if not evt.triggered:
                             host_stream.stall_count += 1
+                            host_stream.starved_count += 1
                             reg.counter("pipeline.h2d.starved",
                                         device=device.name).inc()
                             stall_start = self.env.now
                             yield evt
-                            host_stream.stall_seconds += (
-                                self.env.now - stall_start)
+                            starved = self.env.now - stall_start
+                            host_stream.stall_seconds += starved
+                            host_stream.starved_seconds += starved
+                            # The registry counter above is sampled into
+                            # the store; just drive the window clock here.
+                            monitor.tick()
                             tracer.complete(
                                 "h2d.starved", "pipeline", pipeline_track,
                                 start=stall_start, end=self.env.now,
@@ -284,6 +292,8 @@ class GStream:
                                     start=window[0], end=window[1],
                                     nbytes=blk.nbytes, block=blk.index)
                     h2d_bytes_ctr.inc(blk.nbytes)
+                    monitor.count("gpu.pcie.bytes", blk.nbytes,
+                                  device=device.name)
                 if host_stream is not None:
                     host_stream.ack_nbytes(
                         work.host_stream_slot,
@@ -345,6 +355,8 @@ class GStream:
                                     stage=idx)
                     reg.counter("gpu.kernel.seconds", device=device.name,
                                 kernel=st.execute_name).inc(ksec)
+                    monitor.count("gstream.engine_busy_s", ksec,
+                                  device=device.name)
                     # Retire this stage's input: spilled intermediates give
                     # their region room back, temporaries are freed, cached
                     # buffers stay resident.
@@ -382,6 +394,7 @@ class GStream:
                                 start=window[0], end=window[1],
                                 nbytes=nbytes, block=blk.index)
                 d2h_bytes_ctr.inc(nbytes)
+                monitor.count("gpu.pcie.bytes", nbytes, device=device.name)
                 if out_spill is not None and spill_region is not None:
                     spill_region.remove(out_spill)
                 elif out_temp:
@@ -497,6 +510,8 @@ class GStream:
                 obs.registry.counter(
                     "gpu.kernel.seconds", device=device.name,
                     kernel=work.execute_name).inc(kernel_s)
+                obs.monitor.count("gstream.engine_busy_s", kernel_s,
+                                  device=device.name)
                 device.kernel_seconds += kernel_s
                 device.kernels_launched += 1
                 device.h2d_bytes += blk.nbytes

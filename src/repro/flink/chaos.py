@@ -320,9 +320,14 @@ class ChaosEngine:
                 return  # schedule fully applied, every death declared
             yield self.env.timeout(interval)
             now = self.env.now
+            monitor = self.cluster.obs.monitor
+            monitor.tick()
             for name in self._undetected():
                 worker = self.cluster.workers[name]
                 failed_at = worker.failed_at or now
+                # Every tick a dead worker stays undeclared is one missed
+                # heartbeat — the worker_unhealthy alert's feed.
+                monitor.heartbeat_missed(name)
                 if now - failed_at >= timeout:
                     self.declared[name] = now
                     self.cluster.declare_worker_dead(name)

@@ -90,6 +90,18 @@ class FlinkConfig:
     # events, so the simulated clock is identical either way.
     enable_tracing: bool = False
 
+    # Online monitoring (repro.obs.monitor, docs/OBSERVABILITY.md): sample
+    # metrics into windows of simulated time, track SLOs/error budgets,
+    # evaluate alert rules and score health while the job runs.  Off by
+    # default (tests); `repro monitor` turns it on.  The monitor is fed
+    # synchronously from instrumented call sites and never schedules
+    # simulation events, so the simulated clock is identical either way.
+    enable_monitoring: bool = False
+    # Width of one sampling window, in simulated seconds.
+    monitor_window_s: float = 1.0
+    # Windows retained per series (older points are dropped).
+    monitor_retention_windows: int = 720
+
     # Execution architecture (docs/STREAMING_EXECUTOR.md).  "staged" runs
     # one operator wave at a time with a full barrier between operators;
     # "pipelined" streams HDFS blocks through whole pipeline regions with a
@@ -118,6 +130,10 @@ class FlinkConfig:
                 f"executor must be 'staged' or 'pipelined': {self.executor!r}")
         if self.pipeline_queue_blocks < 1:
             raise ConfigError("pipeline_queue_blocks must be >= 1")
+        if self.monitor_window_s <= 0:
+            raise ConfigError("monitor_window_s must be positive")
+        if self.monitor_retention_windows < 1:
+            raise ConfigError("monitor_retention_windows must be >= 1")
         if self.pipeline_block_nbytes <= 0:
             raise ConfigError("pipeline_block_nbytes must be positive")
 

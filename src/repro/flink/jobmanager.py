@@ -77,6 +77,14 @@ class JobMetrics:
     recovered_partitions: int = 0
     #: GPU subtasks that degraded to CPU execution (all devices blacklisted).
     fallback_tasks: int = 0
+    #: Streaming-executor counters (zero under the staged executor): the
+    #: deepest block-queue occupancy seen, producer stalls on full queues
+    #: (count and stalled seconds), and H2D copies that waited for host
+    #: bytes to stream in.  Surfaced by repro.flink.report.breakdown.
+    pipeline_max_queue_depth: int = 0
+    pipeline_backpressure_stalls: int = 0
+    pipeline_backpressure_s: float = 0.0
+    pipeline_h2d_starved: int = 0
     operator_spans: Dict[int, OperatorSpan] = field(default_factory=dict)
     #: Operators materialized by THIS job (cleanup is per-job so concurrent
     #: applications on one cluster do not evict each other's intermediates).
@@ -145,6 +153,7 @@ class TaskContext:
             yield evt
             return
         stream.stall_count += 1
+        self.metrics.pipeline_backpressure_stalls += 1
         obs = self.cluster.obs
         obs.registry.counter("pipeline.backpressure.stalls",
                              op=self.op_name).inc()
@@ -155,7 +164,11 @@ class TaskContext:
                          op=self.op_name, subtask=self.subtask_index,
                          block=block_index):
             yield evt
-        stream.stall_seconds += self.env.now - t0
+        stalled = self.env.now - t0
+        stream.stall_seconds += stalled
+        self.metrics.pipeline_backpressure_s += stalled
+        obs.monitor.count("pipeline.backpressure.stall_s", stalled,
+                          op=self.op_name)
 
     def charge_compute(self, nominal_elements: float,
                        flops_per_element: float,
@@ -200,6 +213,9 @@ class TaskContext:
                 stream.ack(self.in_slot, k + 1)
                 if out is not None:
                     out.publish(k)
+                # Drive the monitor's lazy window clock from the hottest
+                # streaming loop (no-op when monitoring is off).
+                self.cluster.obs.monitor.tick()
             if out is not None:
                 out.close()
             return
@@ -234,6 +250,7 @@ class JobManager:
         hdfs_read0 = self.cluster.hdfs.total_bytes_read()
         hdfs_write0 = self.cluster.hdfs.total_bytes_written()
         obs = self.cluster.obs
+        obs.monitor.tick()
         tracer = obs.tracer
         jm_track = tracer.track(self.cluster.master_name, "jobmanager")
 
@@ -249,7 +266,8 @@ class JobManager:
                                        gpu=flink.enable_gpu_chaining)
             graph = ExecutionGraph(sinks, self.cluster.default_parallelism)
             scheduler = Scheduler(self.config.worker_names(), tracer=tracer,
-                                  health=self.cluster.worker_is_alive)
+                                  health=self.cluster.worker_is_alive,
+                                  monitor=obs.monitor)
 
             if flink.executor == "pipelined":
                 from repro.flink.pipeline import PipelinedExecutor
@@ -282,6 +300,7 @@ class JobManager:
             reg.counter("shuffle.bytes", job=job_name).inc(
                 metrics.shuffle_bytes)
         reg.histogram("job.makespan_s").observe(metrics.makespan)
+        obs.monitor.job_completed(job_name, metrics.makespan)
         return metrics
 
     # -- per-operator execution ----------------------------------------------------
@@ -464,6 +483,8 @@ class JobManager:
                                      attempt=vertex.attempts) as sp:
                         overhead = flink.task_schedule_s + flink.task_deploy_s
                         metrics.schedule_s += overhead
+                        obs.monitor.observe("sched.place_latency_s",
+                                            overhead, op=op.name)
                         yield self.env.timeout(overhead)
                         ctx = TaskContext(self.cluster, vertex, metrics,
                                           n_subtasks,
@@ -505,6 +526,7 @@ class JobManager:
                             failure = exc
                 if failure is None:
                     worker.taskmanager.tasks_executed += 1
+                    obs.monitor.task_attempt(op.name, ok=True)
                     return partition
             except InterruptError as exc:
                 # The worker died under us (slot wait included): the attempt
@@ -525,6 +547,7 @@ class JobManager:
                 cause="worker-lost" if worker_lost
                 else type(failure).__name__)
             obs.registry.counter("task.retries", op=op.name).inc()
+            obs.monitor.task_attempt(op.name, ok=False)
             if vertex.attempts > flink.max_task_retries:
                 raise JobExecutionError(
                     f"{op.name}[{vertex.subtask_index}] failed "

@@ -95,6 +95,10 @@ class BlockStream:
         self.max_depth = 0
         self.stall_count = 0
         self.stall_seconds = 0.0
+        # H2D starvation (consumer ready before host bytes): incremented by
+        # the GPU pipeline (repro.core.gstream) on its host stream.
+        self.starved_count = 0
+        self.starved_seconds = 0.0
 
     # -- state ----------------------------------------------------------------
     @property
@@ -414,12 +418,22 @@ class PipelinedExecutor:
         if not streams:
             return
         reg = self.obs.registry
-        reg.counter("pipeline.queue.max_depth", op=op.name).inc(
-            max(s.max_depth for s in streams))
+        max_depth = max(s.max_depth for s in streams)
+        reg.counter("pipeline.queue.max_depth", op=op.name).inc(max_depth)
         stalls = sum(s.stall_count for s in streams)
         if stalls:
             reg.counter("pipeline.backpressure.blocks", op=op.name).inc(
                 stalls)
+        starved = sum(s.starved_count for s in streams)
+        self.metrics.pipeline_max_queue_depth = max(
+            self.metrics.pipeline_max_queue_depth, max_depth)
+        self.metrics.pipeline_h2d_starved += starved
+        monitor = self.obs.monitor
+        if monitor.enabled:
+            # Distinct name from the registry's pipeline.queue.max_depth
+            # counter: that one is sampled into the store as a counter
+            # series, this is the live per-close gauge.
+            monitor.gauge("pipeline.queue.depth", max_depth, op=op.name)
 
     # -- operator modes ----------------------------------------------------------
     def _start_source(self, op: HdfsSource, jv: ExecutionJobVertex) -> list:

@@ -56,6 +56,18 @@ def breakdown(metrics: JobMetrics) -> str:
         f"  HDFS read+write     {io_bytes / 1e6:10.1f} MB",
         f"  task retries        {metrics.retries:10d}",
     ]
+    if metrics.pipeline_max_queue_depth or \
+            metrics.pipeline_backpressure_stalls or \
+            metrics.pipeline_h2d_starved:
+        lines += [
+            f"  pipeline max queue  "
+            f"{metrics.pipeline_max_queue_depth:10d} blocks",
+            f"  backpressure stalls "
+            f"{metrics.pipeline_backpressure_stalls:10d} "
+            f"({metrics.pipeline_backpressure_s:.3f} s)",
+            f"  H2D starvation      "
+            f"{metrics.pipeline_h2d_starved:10d} events",
+        ]
     if metrics.makespan > 0:
         # schedule_s sums over subtasks that ran in parallel; the wall-clock
         # overhead is the submit plus one task's worth of scheduling.

@@ -53,10 +53,17 @@ class Cluster:
                  env: Optional[Environment] = None):
         self.config = config or ClusterConfig()
         self.env = env or Environment()
-        # Tracing + metrics for everything this cluster runs (repro.obs).
-        self.obs = Observability(self.env,
-                                 enabled=self.config.flink.enable_tracing)
+        # Tracing + metrics + online monitoring for everything this
+        # cluster runs (repro.obs).
+        flink = self.config.flink
+        self.obs = Observability(
+            self.env, enabled=flink.enable_tracing,
+            monitoring=flink.enable_monitoring,
+            monitor_window_s=flink.monitor_window_s,
+            monitor_retention=flink.monitor_retention_windows)
         names = self.config.worker_names()
+        for name in names:
+            self.obs.monitor.register_worker(name)
         self.network = Network(self.env, [self.master_name] + names,
                                self.config.network)
         self.hdfs = HDFS(self.env, names, self.network,
@@ -132,6 +139,7 @@ class Cluster:
                        tracer.track(self.master_name, "failures"),
                        worker=name)
         self.obs.registry.counter("worker.failures", worker=name).inc()
+        self.obs.monitor.worker_down(name)
         if self.chaos is None:
             self.declare_worker_dead(name)
         else:
@@ -151,6 +159,7 @@ class Cluster:
                        tracer.track(self.master_name, "failures"),
                        worker=name)
         self.obs.registry.counter("worker.declared_dead", worker=name).inc()
+        self.obs.monitor.worker_declared_dead(name)
         waiter = self._declare_waiters.pop(name, None)
         if waiter is not None and not waiter.triggered:
             waiter.succeed(name)

@@ -36,7 +36,8 @@ class Scheduler:
     """Fills in worker assignments for an execution graph, operator by operator."""
 
     def __init__(self, worker_names: List[str], tracer=None,
-                 health: Optional[Callable[[str], bool]] = None):
+                 health: Optional[Callable[[str], bool]] = None,
+                 monitor=None):
         self.worker_names = list(worker_names)
         self._load: Dict[str, int] = {w: 0 for w in worker_names}
         # Optional repro.obs.trace.Tracer: placement decisions become
@@ -44,6 +45,16 @@ class Scheduler:
         self.tracer = tracer
         # Liveness predicate (Cluster.worker_is_alive); None = all healthy.
         self._health = health
+        # Optional repro.obs.monitor.GMonitor: per-worker queue depth and
+        # placement counts become live series.
+        self.monitor = monitor
+
+    def _feed_monitor(self, worker: str, reason: str) -> None:
+        if self.monitor is None or not self.monitor.enabled:
+            return
+        self.monitor.count("sched.placements", 1, reason=reason)
+        self.monitor.gauge("sched.queue_depth", self._load[worker],
+                           worker=worker)
 
     # -- helpers ---------------------------------------------------------------
     def _is_healthy(self, worker: str) -> bool:
@@ -64,6 +75,7 @@ class Scheduler:
 
     def _trace_place(self, op_name: str, subtask: int, worker: str,
                      reason: str) -> None:
+        self._feed_monitor(worker, reason)
         if self.tracer is None or not self.tracer.enabled:
             return
         self.tracer.instant(

@@ -29,6 +29,13 @@ from __future__ import annotations
 from typing import Any
 
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.monitor import (
+    NULL_MONITOR,
+    AlertRule,
+    GMonitor,
+    SLObjective,
+    validate_monitor_summary,
+)
 from repro.obs.profile import (
     ProfileTrace,
     compare_summaries,
@@ -39,28 +46,49 @@ from repro.obs.profile import (
 from repro.obs.trace import TraceEvent, Tracer, Track
 
 __all__ = [
+    "AlertRule",
     "Counter",
+    "GMonitor",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "NULL_MONITOR",
     "Observability",
     "ProfileTrace",
+    "SLObjective",
     "TraceEvent",
     "Tracer",
     "Track",
     "compare_summaries",
     "profile_file",
     "summarize_tracer",
+    "validate_monitor_summary",
     "validate_profile_summary",
 ]
 
 
 class Observability:
-    """One cluster's tracer + metrics registry, passed through the stack."""
+    """One cluster's tracer + registry + monitor, passed through the stack.
 
-    def __init__(self, env: Any, enabled: bool = False):
+    ``enabled`` switches tracing; ``monitoring`` additionally attaches a
+    live :class:`~repro.obs.monitor.GMonitor` (which needs the registry,
+    so monitoring alone also enables it).  When monitoring is off the
+    shared :data:`~repro.obs.monitor.NULL_MONITOR` is handed out — call
+    sites stay unconditional and allocate nothing.
+    """
+
+    def __init__(self, env: Any, enabled: bool = False,
+                 monitoring: bool = False, monitor_window_s: float = 1.0,
+                 monitor_retention: int = 720):
         self.tracer = Tracer(env, enabled=enabled)
-        self.registry = MetricsRegistry(enabled=enabled)
+        self.registry = MetricsRegistry(enabled=enabled or monitoring)
+        if monitoring:
+            self.monitor = GMonitor(env, tracer=self.tracer,
+                                    registry=self.registry,
+                                    window_s=monitor_window_s,
+                                    retention=monitor_retention)
+        else:
+            self.monitor = NULL_MONITOR
 
     @property
     def enabled(self) -> bool:

@@ -18,7 +18,8 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.common.errors import ConfigError
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "metric_key"]
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "metric_key",
+           "parse_prometheus", "prometheus_name"]
 
 LabelItems = Tuple[Tuple[str, str], ...]
 
@@ -84,8 +85,8 @@ class Histogram:
     the microsecond-to-kilosecond range the simulation produces.
     """
 
-    __slots__ = ("name", "labels", "count", "total", "vmin", "vmax",
-                 "bounds", "bucket_counts")
+    __slots__ = ("name", "labels", "count", "total", "sumsq", "vmin",
+                 "vmax", "bounds", "bucket_counts")
 
     kind = "histogram"
 
@@ -97,6 +98,7 @@ class Histogram:
         self.labels = labels
         self.count = 0
         self.total = 0.0
+        self.sumsq = 0.0
         self.vmin = float("inf")
         self.vmax = float("-inf")
         self.bounds = tuple(bounds) if bounds else self.DEFAULT_BOUNDS
@@ -105,6 +107,7 @@ class Histogram:
     def observe(self, value: float) -> None:
         self.count += 1
         self.total += value
+        self.sumsq += value * value
         if value < self.vmin:
             self.vmin = value
         if value > self.vmax:
@@ -118,6 +121,14 @@ class Histogram:
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    @property
+    def stddev(self) -> float:
+        """Population standard deviation of the observed values."""
+        if not self.count:
+            return 0.0
+        var = self.sumsq / self.count - self.mean ** 2
+        return var ** 0.5 if var > 0 else 0.0
 
     def percentile(self, q: float) -> float:
         """Estimate the ``q``-quantile (``0 <= q <= 1``) from the buckets.
@@ -155,9 +166,11 @@ class Histogram:
             "min": self.vmin,
             "max": self.vmax,
             "mean": self.mean,
+            "stddev": self.stddev,
             "p50": self.percentile(0.50),
             "p95": self.percentile(0.95),
             "p99": self.percentile(0.99),
+            "p999": self.percentile(0.999),
             "buckets": {
                 **{f"le_{b:g}": c
                    for b, c in zip(self.bounds, self.bucket_counts)},
@@ -261,6 +274,42 @@ class MetricsRegistry:
     def to_json(self, indent: int = 2) -> str:
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
 
+    def render_prometheus(self) -> str:
+        """Prometheus text exposition (version 0.0.4) of the registry.
+
+        Metric names are sanitized (``.`` → ``_``); histograms emit the
+        standard cumulative ``_bucket{le=...}`` / ``_sum`` / ``_count``
+        triplet.  :func:`parse_prometheus` reads this format back — the
+        round trip is asserted by ``tests/obs/test_metrics.py``.
+        """
+        by_name: Dict[str, List[Any]] = {}
+        for m in self.metrics():
+            by_name.setdefault(m.name, []).append(m)
+        lines: List[str] = []
+        for name in sorted(by_name):
+            family = by_name[name]
+            pname = prometheus_name(name)
+            kind = family[0].kind
+            lines.append(f"# TYPE {pname} {kind}")
+            for m in family:
+                if isinstance(m, Histogram):
+                    cumulative = 0
+                    for bound, in_bucket in zip(m.bounds, m.bucket_counts):
+                        cumulative += in_bucket
+                        lines.append(_prom_sample(
+                            f"{pname}_bucket", m.labels, cumulative,
+                            extra=("le", f"{bound:g}")))
+                    lines.append(_prom_sample(
+                        f"{pname}_bucket", m.labels, m.count,
+                        extra=("le", "+Inf")))
+                    lines.append(_prom_sample(f"{pname}_sum", m.labels,
+                                              m.total))
+                    lines.append(_prom_sample(f"{pname}_count", m.labels,
+                                              m.count))
+                else:
+                    lines.append(_prom_sample(pname, m.labels, m.value))
+        return "\n".join(lines) + ("\n" if lines else "")
+
     def render(self) -> str:
         """Human-readable snapshot, one metric per line."""
         lines = []
@@ -276,3 +325,80 @@ class MetricsRegistry:
             else:
                 lines.append(f"{key:58s} {int(m.value)}")
         return "\n".join(lines) if lines else "no metrics recorded"
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition helpers
+# ---------------------------------------------------------------------------
+
+def prometheus_name(name: str) -> str:
+    """Sanitize a dotted metric name into a Prometheus-legal one."""
+    out = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace(
+        "\n", r"\n")
+
+
+def _prom_sample(name: str, labels: LabelItems, value: float,
+                 extra: Optional[Tuple[str, str]] = None) -> str:
+    items = list(labels)
+    if extra is not None:
+        items.append(extra)
+    if items:
+        inner = ",".join(f'{k}="{_escape_label(str(v))}"'
+                         for k, v in items)
+        return f"{name}{{{inner}}} {float(value):g}"
+    return f"{name} {float(value):g}"
+
+
+def parse_prometheus(text: str) -> Dict[Tuple[str, LabelItems], float]:
+    """Parse text produced by :meth:`MetricsRegistry.render_prometheus`.
+
+    Returns ``{(name, sorted_labels): value}``; histogram samples appear
+    under their ``_bucket``/``_sum``/``_count`` spellings (with the
+    ``le`` label intact on buckets).  A deliberately small parser for the
+    subset the renderer emits — enough for the round-trip test and for
+    diffing scrapes across runs.
+    """
+    out: Dict[Tuple[str, LabelItems], float] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        body, _, value = line.rpartition(" ")
+        if "{" in body:
+            name, _, rest = body.partition("{")
+            rest = rest.rstrip("}")
+            labels = []
+            for part in _split_label_pairs(rest):
+                k, _, v = part.partition("=")
+                v = v.strip('"').replace(r"\"", '"').replace(
+                    r"\n", "\n").replace(r"\\", "\\")
+                labels.append((k, v))
+            key = (name, tuple(sorted(labels)))
+        else:
+            key = (body, ())
+        out[key] = float(value)
+    return out
+
+
+def _split_label_pairs(rest: str) -> List[str]:
+    """Split ``k="v",k2="v2"`` on commas outside quoted values."""
+    parts, buf, in_quote, prev = [], [], False, ""
+    for ch in rest:
+        if ch == '"' and prev != "\\":
+            in_quote = not in_quote
+        if ch == "," and not in_quote:
+            parts.append("".join(buf))
+            buf = []
+        else:
+            buf.append(ch)
+        prev = ch
+    if buf:
+        parts.append("".join(buf))
+    return parts

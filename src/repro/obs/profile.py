@@ -351,6 +351,7 @@ def classify_operators(trace: ProfileTrace) -> Dict[str, Dict[str, Any]]:
     subtask running).  The class is ``<dominant>_bound`` with h2d+d2h
     folded into ``pcie``.
     """
+    from repro.obs.metrics import Histogram
     out: Dict[str, Dict[str, Any]] = {}
     tasks = trace.by_cat("task")
     exchanges = trace.by_cat("shuffle")
@@ -402,6 +403,22 @@ def classify_operators(trace: ProfileTrace) -> Dict[str, Dict[str, Any]]:
             "hdfs": shares.get("hdfs", 0.0),
         }
         dominant = max(sorted(grouped), key=lambda k: grouped[k])
+        # Per-subtask latency distribution: the task spans of this operator
+        # fed through a Histogram so the text report can print percentiles.
+        hist = Histogram("op.task_s", ())
+        for s in op_tasks:
+            hist.observe(s.dur)
+        latency: Dict[str, float] = {}
+        if op_tasks:
+            latency = {
+                "count": float(hist.count),
+                "min": hist.vmin,
+                "max": hist.vmax,
+                "stddev": hist.stddev,
+                "p50": hist.percentile(0.50),
+                "p95": hist.percentile(0.95),
+                "p99": hist.percentile(0.99),
+            }
         out[op] = {
             "wall_s": wall,
             "parallelism": int(op_span.args.get("parallelism",
@@ -409,6 +426,7 @@ def classify_operators(trace: ProfileTrace) -> Dict[str, Dict[str, Any]]:
             "shares": {k: v / wall for k, v in sorted(shares.items())},
             "class": f"{dominant}_bound",
             "dominant_share": grouped[dominant] / wall,
+            "task_latency_s": latency,
         }
     return out
 
@@ -738,10 +756,16 @@ def render_text(summary: Dict[str, Any]) -> str:
         for op in sorted(operators,
                          key=lambda o: -operators[o]["wall_s"]):
             entry = operators[op]
-            lines.append(
+            line = (
                 f"  {op[:width]:<{width}} {entry['wall_s']:9.3f} s  "
                 f"{entry['class']:<13} "
                 f"({_pct(entry['dominant_share']).strip()} dominant)")
+            latency = entry.get("task_latency_s") or {}
+            if latency:
+                line += (f"  p50 {latency['p50']:7.3f} "
+                         f"p95 {latency['p95']:7.3f} "
+                         f"p99 {latency['p99']:7.3f}")
+            lines.append(line)
     devices = summary.get("devices", {})
     if devices:
         lines.append("device utilization "

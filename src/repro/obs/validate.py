@@ -1,11 +1,16 @@
-"""Validate a Chrome trace JSON file against the event schema.
+"""Validate observability JSON artifacts (traces, monitor summaries).
 
 Usage::
 
-    python -m repro.obs.validate trace.json [more.json ...]
+    python -m repro.obs.validate file.json [more.json ...]
 
-Exit status 0 when every file validates; 1 otherwise.  CI runs this over
-the traced bench smoke's artifact (see ``scripts/ci.sh``).
+Each file is dispatched on its ``schema`` field: documents tagged
+``repro.monitor.summary/v1`` go through
+:func:`repro.obs.monitor.validate_monitor_summary`, profile summaries
+through :func:`repro.obs.profile.validate_profile_summary`, and anything
+else is treated as a Chrome trace.  Exit status 0 when every file
+validates; 1 otherwise.  CI runs this over the traced bench smoke's trace
+and the monitored chaos smoke's summary (see ``scripts/ci.sh``).
 """
 
 from __future__ import annotations
@@ -13,34 +18,54 @@ from __future__ import annotations
 import json
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.obs.export import validate_chrome_trace_file
+from repro.obs.monitor import MONITOR_SCHEMA, validate_monitor_summary
+from repro.obs.profile import SUMMARY_SCHEMA, validate_profile_summary
+
+
+def _validate_file(path: str) -> Tuple[str, List[str]]:
+    """(document kind, errors) for one file; dispatch on the schema tag."""
+    try:
+        doc = json.loads(Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        return "unreadable", [str(exc)]
+    schema = doc.get("schema") if isinstance(doc, dict) else None
+    if schema == MONITOR_SCHEMA:
+        return "monitor summary", validate_monitor_summary(doc)
+    if schema == SUMMARY_SCHEMA:
+        return "profile summary", validate_profile_summary(doc)
+    return "chrome trace", validate_chrome_trace_file(path)
 
 
 def main(argv: Optional[List[str]] = None, out=None) -> int:
     out = out or sys.stdout
     argv = sys.argv[1:] if argv is None else argv
     if not argv:
-        print("usage: python -m repro.obs.validate <trace.json> ...",
+        print("usage: python -m repro.obs.validate <file.json> ...",
               file=out)
         return 2
     failed = False
     for arg in argv:
-        errors = validate_chrome_trace_file(arg)
+        kind, errors = _validate_file(arg)
         if errors:
             failed = True
-            print(f"{arg}: INVALID", file=out)
+            print(f"{arg}: INVALID ({kind})", file=out)
             for err in errors[:20]:
                 print(f"  {err}", file=out)
             if len(errors) > 20:
                 print(f"  ... and {len(errors) - 20} more", file=out)
         else:
-            try:
-                n = len(json.loads(Path(arg).read_text())["traceEvents"])
-            except Exception:  # pragma: no cover - validated above
-                n = 0
-            print(f"{arg}: OK ({n} events)", file=out)
+            detail = ""
+            if kind == "chrome trace":
+                try:
+                    n = len(json.loads(
+                        Path(arg).read_text())["traceEvents"])
+                except Exception:  # pragma: no cover - validated above
+                    n = 0
+                detail = f" ({n} events)"
+            print(f"{arg}: OK [{kind}]{detail}", file=out)
     return 1 if failed else 0
 
 

@@ -9,6 +9,8 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     metric_key,
+    parse_prometheus,
+    prometheus_name,
     render_key,
 )
 
@@ -154,3 +156,76 @@ class TestExportSurface:
         reg.counter("z")
         reg.counter("a")
         assert [m.name for m in reg.metrics()] == ["a", "z"]
+
+
+class TestSpreadStatistics:
+    def test_stddev(self):
+        h = Histogram("t", ())
+        for v in (2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0):
+            h.observe(v)
+        assert h.stddev == pytest.approx(2.0)   # classic textbook set
+        snap = h.snapshot_value()
+        assert snap["stddev"] == pytest.approx(2.0)
+
+    def test_stddev_single_observation_is_zero(self):
+        h = Histogram("t", ())
+        h.observe(3.0)
+        assert h.stddev == 0.0
+
+    def test_p999_in_snapshot(self):
+        h = Histogram("t", (), bounds=(1.0, 10.0))
+        for v in (0.5, 2.0, 8.0):
+            h.observe(v)
+        snap = h.snapshot_value()
+        assert snap["p99"] <= snap["p999"] <= snap["max"]
+
+
+class TestPrometheusExposition:
+    def make_registry(self):
+        reg = MetricsRegistry()
+        reg.counter("gpu.pcie.h2d.bytes", device="w0-gpu0").inc(1024)
+        reg.counter("gpu.pcie.h2d.bytes", device="w0-gpu1").inc(2048)
+        reg.gauge("sched.queue_depth", worker="w0").set(3)
+        h = reg.histogram("job.makespan_s", bounds=(1.0, 10.0))
+        for v in (0.5, 5.0, 100.0):
+            h.observe(v)
+        return reg
+
+    def test_name_sanitization(self):
+        assert prometheus_name("gpu.pcie.h2d.bytes") == "gpu_pcie_h2d_bytes"
+        assert prometheus_name("9lives") == "_9lives"
+
+    def test_type_lines_and_samples(self):
+        text = self.make_registry().render_prometheus()
+        assert "# TYPE gpu_pcie_h2d_bytes counter" in text
+        assert "# TYPE sched_queue_depth gauge" in text
+        assert "# TYPE job_makespan_s histogram" in text
+        assert 'gpu_pcie_h2d_bytes{device="w0-gpu0"} 1024' in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        samples = parse_prometheus(
+            self.make_registry().render_prometheus())
+        assert samples[("job_makespan_s_bucket", (("le", "1"),))] == 1.0
+        assert samples[("job_makespan_s_bucket", (("le", "10"),))] == 2.0
+        assert samples[("job_makespan_s_bucket", (("le", "+Inf"),))] == 3.0
+        assert samples[("job_makespan_s_count", ())] == 3.0
+        assert samples[("job_makespan_s_sum", ())] == pytest.approx(105.5)
+
+    def test_round_trip(self):
+        reg = self.make_registry()
+        samples = parse_prometheus(reg.render_prometheus())
+        assert samples[("gpu_pcie_h2d_bytes",
+                        (("device", "w0-gpu0"),))] == 1024.0
+        assert samples[("gpu_pcie_h2d_bytes",
+                        (("device", "w0-gpu1"),))] == 2048.0
+        assert samples[("sched_queue_depth", (("worker", "w0"),))] == 3.0
+
+    def test_label_escaping_round_trips(self):
+        reg = MetricsRegistry()
+        reg.counter("c", path='a"b\\c').inc(1)
+        samples = parse_prometheus(reg.render_prometheus())
+        assert samples[("c", (("path", 'a"b\\c'),))] == 1.0
+
+    def test_empty_registry_renders_empty(self):
+        assert MetricsRegistry().render_prometheus() == ""
+        assert parse_prometheus("") == {}
