@@ -55,6 +55,22 @@ if [[ "${1:-}" != "--fast" ]]; then
         --threshold makespan_s=0.25 --threshold critical_path=0.60 \
         --threshold operator_wall=0.60 --threshold overlap_pct=0.50
 
+    echo "== traced bench smoke: wordcount (vectorized columnar) + profile gate =="
+    # Block-vectorized operators + zero-copy columnar shuffle: same counts,
+    # different charge model — gated against its own committed baseline.
+    # Refresh deliberately with:
+    #   python -m repro profile traces/ci_wordcount_vectorized.json --quiet \
+    #       --json traces/ci_wordcount_vectorized_profile_baseline.json
+    python -m repro trace wordcount --workers 2 --real 4000 --nominal 1e6 \
+        --executor pipelined --vectorized \
+        --out traces/ci_wordcount_vectorized.json
+    python -m repro.obs.validate traces/ci_wordcount_vectorized.json
+    python -m repro profile traces/ci_wordcount_vectorized.json \
+        --json traces/ci_vectorized_profile_summary.json \
+        --baseline traces/ci_wordcount_vectorized_profile_baseline.json \
+        --threshold makespan_s=0.25 --threshold critical_path=0.60 \
+        --threshold operator_wall=0.60 --threshold overlap_pct=0.50
+
     echo "== chaos smoke: wordcount survives worker kill + GPU fault =="
     # Exits non-zero unless the faulted run's result is identical to the
     # fault-free run's; the trace must also pass schema validation.
@@ -77,11 +93,12 @@ if [[ "${1:-}" != "--fast" ]]; then
     test -s traces/ci_monitor_dashboard.html
     grep -q '<svg' traces/ci_monitor_dashboard.html
 
-    echo "== bench smoke: GPU chaining ablation + cache policies =="
+    echo "== bench smoke: GPU chaining ablation + cache policies + zero-copy shuffle =="
     python -m pytest -q \
         benchmarks/bench_ablation_gpu_chaining.py \
-        benchmarks/bench_fig8_cache.py
-    echo "consolidated results written to BENCH_PR1.json"
+        benchmarks/bench_fig8_cache.py \
+        benchmarks/bench_shuffle.py
+    echo "consolidated results written to BENCH_PR1.json and BENCH_PR8.json"
 fi
 
 echo "CI OK"

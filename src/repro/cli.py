@@ -72,6 +72,10 @@ def _add_run_options(p: argparse.ArgumentParser, single_mode: bool) -> None:
                    default="pipelined",
                    help="execution architecture: barriered stage-at-a-time "
                         "or streaming block-pipelined (default)")
+    p.add_argument("--vectorized", action="store_true",
+                   help="run block-vectorized CPU operators: same results, "
+                        "SIMD block cost model + zero-copy columnar "
+                        "exchanges (wordcount/kmeans/pagerank)")
 
 
 def _add_fault_options(p: argparse.ArgumentParser) -> None:
@@ -202,6 +206,8 @@ def _make_workload(name: str, args) -> Workload:
         kwargs["iterations"] = args.iterations
     if args.seed is not None:
         kwargs["seed"] = args.seed
+    if getattr(args, "vectorized", False):
+        kwargs["vectorized"] = True
     return cls(**kwargs)
 
 

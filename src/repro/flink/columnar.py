@@ -1,0 +1,161 @@
+"""Columnar (zero-copy) payload helpers for exchanges and block operators.
+
+A *columnar* partition payload is a NumPy array (1-D primitive column,
+2-D row-block, or structured/GStruct record array).  Columnar payloads can
+be routed, sliced and concatenated as contiguous byte regions, which is
+what lets the exchange ship them without per-row serde: the wire carries
+the SoA regions verbatim plus a fixed-cost descriptor per block
+(``FlinkConfig.shuffle_block_header_s``).  Row payloads (Python lists)
+always take the classic per-record serde path.
+
+Serde is charged only at the columnar↔row boundary: :func:`rows_to_columnar`
+and :func:`columnar_to_rows` are where an engine would pay object
+materialization, and callers charge ``Serializer`` time there.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+
+def is_columnar(elements: Any) -> bool:
+    """True if ``elements`` is a payload the zero-copy path can carry."""
+    return isinstance(elements, np.ndarray) and elements.ndim >= 1
+
+
+def columnar_compatible(elements: Any) -> bool:
+    """True if ``elements`` is columnar or trivially empty.
+
+    Empty list payloads (e.g. a producer that emitted nothing) do not force
+    an exchange back onto the row path.
+    """
+    if is_columnar(elements):
+        return True
+    return isinstance(elements, (list, tuple)) and len(elements) == 0
+
+
+def soa_regions(elements: np.ndarray) -> List[int]:
+    """Byte sizes of the SoA regions of a columnar payload.
+
+    A structured (GStruct) array ships one contiguous region per field —
+    the SoA layout of :meth:`repro.core.gstruct.GStruct.to_soa` — while a
+    plain numeric array is a single region.  Region count feeds the
+    per-block descriptor charge; total bytes are unchanged either way.
+    """
+    n = int(elements.shape[0]) if elements.ndim else 1
+    if elements.dtype.names:
+        return [n * elements.dtype[name].itemsize
+                for name in elements.dtype.names]
+    return [int(elements.nbytes)]
+
+
+def n_wire_blocks(nbytes: float, block_nbytes: float,
+                  n_regions: int = 1) -> int:
+    """Number of framed wire blocks for a payload of ``nbytes``.
+
+    The exchange partitions each destination payload into pipeline-sized
+    blocks (``FlinkConfig.pipeline_block_nbytes``); each SoA region is
+    framed separately, so a GStruct payload pays one descriptor per field
+    per block.
+    """
+    if nbytes <= 0:
+        return max(1, n_regions)
+    return max(1, math.ceil(nbytes / block_nbytes)) * max(1, n_regions)
+
+
+def columnar_take(elements: np.ndarray, index: np.ndarray) -> np.ndarray:
+    """Select rows by boolean mask or integer index array (one copy)."""
+    return elements[index]
+
+
+def columnar_concat(parts: Sequence[np.ndarray]) -> Any:
+    """Concatenate columnar buckets into one merged payload.
+
+    Returns ``[]`` when every bucket is empty so a consumer that received
+    nothing sees the same payload as on the row path.
+    """
+    chunks = [p for p in parts if is_columnar(p) and p.shape[0] > 0]
+    if not chunks:
+        return []
+    if len(chunks) == 1:
+        return chunks[0]
+    return np.concatenate(chunks, axis=0)
+
+
+def maybe_stack(rows: List[Any]) -> Any:
+    """Stack reduced rows back into a columnar payload when possible.
+
+    Keyed-reduce outputs are per-group rows; if they are homogeneous
+    ndarrays they stack into a 2-D (or structured) block so the columnar
+    path continues downstream.  Heterogeneous outputs stay a row list.
+    """
+    if not rows:
+        return rows
+    first = rows[0]
+    if not isinstance(first, np.ndarray):
+        return rows
+    shape, dtype = first.shape, first.dtype
+    for r in rows[1:]:
+        if (not isinstance(r, np.ndarray) or r.shape != shape
+                or r.dtype != dtype):
+            return rows
+    return np.stack(rows, axis=0)
+
+
+def rows_to_columnar(rows: Iterable[Any]) -> Any:
+    """Row→columnar boundary: materialize rows into a NumPy block.
+
+    Callers charge serde for the conversion; this helper only performs it.
+    """
+    rows = list(rows)
+    return np.asarray(rows) if rows else []
+
+
+def columnar_to_rows(elements: Any) -> List[Any]:
+    """Columnar→row boundary: materialize Python rows from a block.
+
+    Callers charge serde for the conversion; this helper only performs it.
+    """
+    if isinstance(elements, np.ndarray):
+        return list(elements)
+    return list(elements) if elements is not None else []
+
+
+def vector_keys(key_fn, elements: np.ndarray) -> Optional[np.ndarray]:
+    """Evaluate a vectorized key extractor over a columnar payload.
+
+    Returns an integer key array, or ``None`` when the keys are not
+    integral (the exchange then falls back to per-row routing, whose FNV
+    hash has no vectorized equivalent).
+    """
+    keys = np.asarray(key_fn(elements))
+    if keys.ndim != 1 or keys.shape[0] != elements.shape[0]:
+        return None
+    if keys.dtype.kind not in ("i", "u"):
+        return None
+    return keys
+
+
+def group_columnar(elements: np.ndarray, keys: np.ndarray) -> dict:
+    """Group a columnar payload by an integer key column.
+
+    Matches :func:`repro.flink.iterators.group_elements` exactly: keys in
+    first-seen order, members in original order — so grouped-reduce results
+    are bit-identical to the element path.
+    """
+    if elements.shape[0] == 0:
+        return {}
+    uniq, first_idx, inverse = np.unique(
+        keys, return_index=True, return_inverse=True)
+    order = np.argsort(first_idx, kind="stable")  # group ids, first-seen
+    sort_idx = np.argsort(inverse, kind="stable")
+    counts = np.bincount(inverse, minlength=len(uniq))
+    starts = np.concatenate(([0], np.cumsum(counts)))
+    groups: dict = {}
+    for g in order:
+        members = sort_idx[starts[g]:starts[g + 1]]
+        groups[uniq[g].item()] = elements[members]
+    return groups

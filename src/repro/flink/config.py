@@ -23,12 +23,20 @@ class CPUSpec:
     cores: int = 4
     clock_ghz: float = 3.3
     flops_per_core: float = 4.0e9  # sustained scalar FLOP/s in iterator code
+    #: Sustained throughput of *vectorized block* operators (tight SIMD
+    #: loops over primitive arrays, no per-element virtual calls).  Only
+    #: UDFs that opt in via :func:`repro.flink.iterators.vectorized` are
+    #: charged at this rate; 4-wide SSE/AVX over the scalar figure matches
+    #: what a columnar batch engine sustains on this core.
+    simd_flops_per_core: float = 16.0e9
 
     def __post_init__(self) -> None:
         if self.cores < 1:
             raise ConfigError(f"cores must be >= 1, got {self.cores}")
         if self.flops_per_core <= 0:
             raise ConfigError("flops_per_core must be positive")
+        if self.simd_flops_per_core <= 0:
+            raise ConfigError("simd_flops_per_core must be positive")
 
 
 @dataclass(frozen=True)
@@ -50,6 +58,33 @@ class FlinkConfig:
     serde_bps: float = 0.8e9
     # Copy between JVM heap and native memory (baseline GPU path only).
     heap_copy_bps: float = 4.0e9
+
+    # Columnar zero-copy exchange (docs/STREAMING_EXECUTOR.md §columnar):
+    # when a routed/broadcast exchange carries columnar payloads (NumPy /
+    # GStruct SoA regions) and its key extractor is vectorized, partitions
+    # ship as raw block regions — no per-row serde; only a per-block
+    # descriptor is charged (``shuffle_block_header_s``).  Serde is charged
+    # only at the columnar↔row boundary.  Row payloads always take the
+    # classic per-record path regardless of this flag.
+    columnar_shuffle: bool = True
+    # Fixed cost of framing one shipped columnar block (length/dtype/key
+    # descriptor) on each side of the wire.
+    shuffle_block_header_s: float = 2e-6
+    # A single destination payload larger than this (nominal bytes) is
+    # spilled through the simulated HDFS instead of held in exchange
+    # buffers: the producer writes the region, the consumer reads it back
+    # (charging disk + replication instead of a direct wire push).
+    shuffle_spill_nbytes: float = 256 * 2**20
+
+    # Vectorized CPU operators: UDFs marked with
+    # ``repro.flink.iterators.vectorized`` are charged the *block* model —
+    # one dispatch per block (``block_overhead_s``) plus SIMD-rate
+    # arithmetic — instead of the per-element iterator model.  Functional
+    # results are bit-identical; only the charge model changes.
+    vectorized_ops: bool = True
+    # Per-block dispatch overhead of a vectorized operator (loop setup,
+    # bounds checks, one virtual call per block instead of per element).
+    block_overhead_s: float = 5e-6
 
     # Job-level fixed overheads (Observation 3 in §6.3: these dominate small
     # inputs and cap the speedup of short jobs).
@@ -136,6 +171,12 @@ class FlinkConfig:
             raise ConfigError("monitor_retention_windows must be >= 1")
         if self.pipeline_block_nbytes <= 0:
             raise ConfigError("pipeline_block_nbytes must be positive")
+        if self.shuffle_block_header_s < 0:
+            raise ConfigError("shuffle_block_header_s must be >= 0")
+        if self.shuffle_spill_nbytes <= 0:
+            raise ConfigError("shuffle_spill_nbytes must be positive")
+        if self.block_overhead_s < 0:
+            raise ConfigError("block_overhead_s must be >= 0")
 
 
 @dataclass(frozen=True)

@@ -58,7 +58,12 @@ def apply_filter(elements: Any, udf: Callable) -> Any:
     if is_vectorized(udf):
         result = udf(elements)
         if isinstance(result, np.ndarray) and result.dtype == bool:
-            return elements[result]
+            # A boolean mask selects from list payloads too: a vectorized
+            # predicate may run over a list (e.g. np.asarray internally)
+            # and hand back a mask, which `list[mask]` cannot apply.
+            if isinstance(elements, np.ndarray):
+                return elements[result]
+            return [x for x, keep in zip(elements, result) if keep]
         return result
     if isinstance(elements, np.ndarray):
         mask = np.fromiter((bool(udf(x)) for x in elements),
@@ -88,7 +93,15 @@ def apply_flat_map(elements: Any, udf: Callable) -> List[Any]:
 
 
 def apply_reduce(elements: Any, udf: Callable) -> Any:
-    """``reduce``: pairwise fold of all elements into one value."""
+    """``reduce``: pairwise fold of all elements into one value.
+
+    A vectorized reducer receives the whole payload (group block or
+    partition array) and returns the reduced value directly.
+    """
+    if is_vectorized(udf):
+        if _is_empty(elements):
+            return None
+        return udf(elements)
     iterator = iter(elements)
     try:
         acc = next(iterator)
@@ -100,8 +113,46 @@ def apply_reduce(elements: Any, udf: Callable) -> Any:
 
 
 def group_elements(elements: Iterable[Any], key_fn: Callable) -> dict:
-    """Group elements by ``key_fn`` preserving first-seen key order."""
-    groups: dict = {}
+    """Group elements by ``key_fn`` preserving first-seen key order.
+
+    A vectorized ``key_fn`` over a columnar (ndarray) payload groups in
+    bulk — keys still come out in first-seen order and members in original
+    order, so results are bit-identical to the element path; group values
+    are ndarray blocks instead of lists.
+    """
+    if is_vectorized(key_fn) and isinstance(elements, np.ndarray):
+        from repro.flink.columnar import group_columnar, vector_keys
+        keys = vector_keys(key_fn, elements)
+        if keys is not None:
+            return group_columnar(elements, keys)
+        # Non-integral keys: fall through to the row loop, evaluating the
+        # vectorized extractor once and pairing keys with rows.
+        all_keys = np.asarray(key_fn(elements))
+        groups: dict = {}
+        for k, x in zip(all_keys, elements):
+            groups.setdefault(k.item() if hasattr(k, "item") else k,
+                              []).append(x)
+        return groups
+    groups = {}
     for x in elements:
         groups.setdefault(key_fn(x), []).append(x)
     return groups
+
+
+def apply_grouped_reduce(elements: Any, key_fn: Callable,
+                         reduce_fn: Callable) -> Any:
+    """Group-by-key then reduce each group (keyed reduce / pre-combine).
+
+    When the payload is columnar and both functions are vectorized, the
+    reduced rows are stacked back into a columnar block so the zero-copy
+    path continues downstream; otherwise the classic row list is returned.
+    """
+    if _is_empty(elements):
+        return [] if elements is None else elements
+    groups = group_elements(elements, key_fn)
+    out = [apply_reduce(members, reduce_fn) for members in groups.values()]
+    if (isinstance(elements, np.ndarray)
+            and is_vectorized(key_fn) and is_vectorized(reduce_fn)):
+        from repro.flink.columnar import maybe_stack
+        return maybe_stack(out)
+    return out

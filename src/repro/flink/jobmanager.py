@@ -14,6 +14,7 @@ paper §3.3).  For each job it:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional, Set, TYPE_CHECKING
 
@@ -69,6 +70,13 @@ class JobMetrics:
     gpu_stage_seconds: Dict[str, float] = field(default_factory=dict)
     pcie_bytes: float = 0.0         # H2D+D2H traffic (GFlink operators)
     shuffle_bytes: float = 0.0
+    #: Exchange bytes that took the columnar zero-copy path (no per-row
+    #: serde; counted regardless of locality) and bytes spilled through
+    #: HDFS because a destination payload exceeded the spill threshold.
+    shuffle_zero_copy_bytes: float = 0.0
+    shuffle_spill_bytes: float = 0.0
+    #: Blocks charged at the vectorized (SIMD block) CPU rate.
+    vectorized_blocks: int = 0
     hdfs_read_bytes: float = 0.0
     hdfs_write_bytes: float = 0.0
     retries: int = 0
@@ -192,7 +200,36 @@ class TaskContext:
                     if element_overhead_s is None else element_overhead_s)
         per_element = (overhead
                        + flops_per_element / self.config.cpu.flops_per_core)
-        seconds = nominal_elements * per_element
+        yield from self._charge_linear(nominal_elements * per_element)
+
+    def charge_block_compute(self, nominal_elements: float,
+                             flops_per_element: float,
+                             nominal_nbytes: float
+                             ) -> Generator[Event, None, None]:
+        """Charge CPU time for a *vectorized block* operator.
+
+        ``time = n_blocks * block_overhead + n * flops / simd-throughput``:
+        one dispatch per pipeline-sized block instead of a virtual call per
+        element, with arithmetic at the SIMD rate
+        (:attr:`repro.flink.config.CPUSpec.simd_flops_per_core`).  Used for
+        UDFs marked :func:`repro.flink.iterators.vectorized` when
+        ``FlinkConfig.vectorized_ops`` is on; functional results are
+        unchanged — only the charge model differs.
+        """
+        flink = self.config.flink
+        n_blocks = max(1, math.ceil(nominal_nbytes
+                                    / flink.pipeline_block_nbytes))
+        seconds = (n_blocks * flink.block_overhead_s
+                   + nominal_elements * flops_per_element
+                   / self.config.cpu.simd_flops_per_core)
+        self.metrics.vectorized_blocks += n_blocks
+        self.cluster.obs.registry.counter(
+            "cpu.vectorized.blocks", op=self.op_name).inc(n_blocks)
+        yield from self._charge_linear(seconds)
+
+    def _charge_linear(self, seconds: float
+                       ) -> Generator[Event, None, None]:
+        """Charge ``seconds`` of CPU time, streaming-aware (see above)."""
         self.metrics.compute_s += seconds
         stream = self.in_stream
         if (stream is not None and not self._stream_consumed
@@ -299,6 +336,12 @@ class JobManager:
         if metrics.shuffle_bytes:
             reg.counter("shuffle.bytes", job=job_name).inc(
                 metrics.shuffle_bytes)
+        if metrics.shuffle_zero_copy_bytes:
+            reg.counter("shuffle.zero_copy.bytes", job=job_name).inc(
+                metrics.shuffle_zero_copy_bytes)
+        if metrics.shuffle_spill_bytes:
+            reg.counter("shuffle.spill.bytes", job=job_name).inc(
+                metrics.shuffle_spill_bytes)
         reg.histogram("job.makespan_s").observe(metrics.makespan)
         obs.monitor.job_completed(job_name, metrics.makespan)
         return metrics
@@ -364,14 +407,19 @@ class JobManager:
                         jv.parallelism, consumer_workers,
                         key_fn=op.key_fn_for_input(k),
                         combiner=op.combiner_for_input(k),
-                        only_consumers=only)
+                        only_consumers=only,
+                        hdfs=self.cluster.hdfs,
+                        flink=self.config.flink)
                     with tracer.span(f"exchange:{op.name}", "shuffle",
                                      ex_track, op=op.name, input=k,
                                      strategy=strat.name) as sp:
                         result = yield self.env.process(
                             exchange.run(), name=f"exchange-{op.name}-{k}")
-                        sp.set(bytes=result.bytes_shuffled)
+                        sp.set(bytes=result.bytes_shuffled,
+                               zero_copy=result.bytes_zero_copy)
                     metrics.shuffle_bytes += result.bytes_shuffled
+                    metrics.shuffle_zero_copy_bytes += result.bytes_zero_copy
+                    metrics.shuffle_spill_bytes += result.bytes_spilled
                     for j, part in enumerate(result.inputs):
                         per_subtask_inputs[j].append(part)
 

@@ -42,6 +42,7 @@ from repro.flink.plan import (
     OpCost,
     Operator,
     ShipStrategy,
+    charge_udf_compute,
     topological_order,
 )
 
@@ -61,9 +62,9 @@ class FusedMapOp(Operator):
         (part,) = inputs
         current = part
         for stage in self.stages:
-            yield from ctx.charge_compute(
-                current.nominal_count, stage.cost.flops_per_element,
-                stage.cost.element_overhead_s)
+            yield from charge_udf_compute(
+                ctx, stage.cost, current.nominal_count,
+                current.nominal_nbytes, stage.udf)
             out_elements = stage._transform(current.elements) \
                 if hasattr(stage, "_transform") else stage.udf(
                     current.elements)

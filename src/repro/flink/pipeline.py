@@ -503,14 +503,18 @@ class PipelinedExecutor:
                 self.env, self.cluster.network, self.cluster.serializer,
                 strat, producer_parts[k], jv.parallelism, consumer_workers,
                 key_fn=op.key_fn_for_input(k),
-                combiner=op.combiner_for_input(k))
+                combiner=op.combiner_for_input(k),
+                hdfs=self.cluster.hdfs, flink=self.cluster.config.flink)
             with self.tracer.span(f"exchange:{op.name}", "shuffle", ex_track,
                                   op=op.name, input=k,
                                   strategy=strat.name) as sp:
                 result = yield self.env.process(
                     exchange.run(), name=f"exchange-{op.name}-{k}")
-                sp.set(bytes=result.bytes_shuffled)
+                sp.set(bytes=result.bytes_shuffled,
+                       zero_copy=result.bytes_zero_copy)
             self.metrics.shuffle_bytes += result.bytes_shuffled
+            self.metrics.shuffle_zero_copy_bytes += result.bytes_zero_copy
+            self.metrics.shuffle_spill_bytes += result.bytes_spilled
             for j, part in enumerate(result.inputs):
                 per_subtask_inputs[j].append(part)
         return [self.env.process(

@@ -22,9 +22,11 @@ from repro.common.errors import ConfigError
 from repro.flink.iterators import (
     apply_filter,
     apply_flat_map,
+    apply_grouped_reduce,
     apply_map,
     apply_reduce,
     group_elements,
+    is_vectorized,
 )
 from repro.flink.partition import Partition, real_len
 
@@ -86,6 +88,27 @@ class OpCost:
 
 
 _op_counter = itertools.count()
+
+
+def charge_udf_compute(ctx: "TaskContext", cost: OpCost,
+                       nominal_count: float, nominal_nbytes: float,
+                       *udfs: Callable) -> Generator[Any, Any, None]:
+    """Charge CPU time for an operator, picking the right cost model.
+
+    When every UDF involved opts in via
+    :func:`repro.flink.iterators.vectorized` (and
+    ``FlinkConfig.vectorized_ops`` is on), the operator is charged the
+    *block* model — per-block dispatch plus SIMD-rate arithmetic
+    (:meth:`TaskContext.charge_block_compute`); otherwise the classic
+    one-element-at-a-time iterator model applies.
+    """
+    if (ctx.config.flink.vectorized_ops and udfs
+            and all(is_vectorized(u) for u in udfs)):
+        yield from ctx.charge_block_compute(
+            nominal_count, cost.flops_per_element, nominal_nbytes)
+    else:
+        yield from ctx.charge_compute(
+            nominal_count, cost.flops_per_element, cost.element_overhead_s)
 
 
 class Operator:
@@ -348,9 +371,8 @@ class _ElementWise(Operator):
 
     def execute_subtask(self, ctx, inputs):
         (part,) = inputs
-        yield from ctx.charge_compute(part.nominal_count,
-                                      self.cost.flops_per_element,
-                                      self.cost.element_overhead_s)
+        yield from charge_udf_compute(ctx, self.cost, part.nominal_count,
+                                      part.nominal_nbytes, self.udf)
         return self.functional_output(part, ctx.subtask_index,
                                       ctx.worker.name)
 
@@ -416,9 +438,8 @@ class MapPartitionOp(Operator):
 
     def execute_subtask(self, ctx, inputs):
         (part,) = inputs
-        yield from ctx.charge_compute(part.nominal_count,
-                                      self.cost.flops_per_element,
-                                      self.cost.element_overhead_s)
+        yield from charge_udf_compute(ctx, self.cost, part.nominal_count,
+                                      part.nominal_nbytes, self.udf)
         out_elements = self.udf(part.elements)
         # Map-style partition functions (one out per in) keep the input's
         # nominal scaling; aggregating ones (partial sums, histograms) emit
@@ -467,12 +488,14 @@ class KeyedReduceOp(Operator):
 
     def execute_subtask(self, ctx, inputs):
         (part,) = inputs
-        yield from ctx.charge_compute(part.nominal_count,
-                                      self.cost.flops_per_element,
-                                      self.cost.element_overhead_s)
-        groups = group_elements(part.elements, self.key_fn)
-        out = [apply_reduce(members, self.reduce_fn)
-               for members in groups.values()]
+        yield from charge_udf_compute(ctx, self.cost, part.nominal_count,
+                                      part.nominal_nbytes,
+                                      self.key_fn, self.reduce_fn)
+        # Vectorized key/reduce over a columnar payload group in bulk and
+        # stack reduced rows back into a block (zero-copy continues
+        # downstream); otherwise this is the classic per-row group+fold.
+        out = apply_grouped_reduce(part.elements, self.key_fn,
+                                   self.reduce_fn)
         # One output record per key: the nominal count collapses to the real
         # group count (keys are not sub-sampled by scaling).
         return Partition(index=ctx.subtask_index, elements=out,
@@ -497,9 +520,9 @@ class GroupReduceOp(Operator):
 
     def execute_subtask(self, ctx, inputs):
         (part,) = inputs
-        yield from ctx.charge_compute(part.nominal_count,
-                                      self.cost.flops_per_element,
-                                      self.cost.element_overhead_s)
+        yield from charge_udf_compute(ctx, self.cost, part.nominal_count,
+                                      part.nominal_nbytes,
+                                      self.key_fn, self.group_fn)
         groups = group_elements(part.elements, self.key_fn)
         out = []
         for key, members in groups.items():
@@ -527,9 +550,8 @@ class ReduceOp(Operator):
 
     def execute_subtask(self, ctx, inputs):
         (part,) = inputs
-        yield from ctx.charge_compute(part.nominal_count,
-                                      self.cost.flops_per_element,
-                                      self.cost.element_overhead_s)
+        yield from charge_udf_compute(ctx, self.cost, part.nominal_count,
+                                      part.nominal_nbytes, self.reduce_fn)
         result = apply_reduce(part.elements, self.reduce_fn)
         out = [] if result is None else [result]
         return Partition(index=0, elements=out,
@@ -619,9 +641,8 @@ class DistinctOp(Operator):
 
     def execute_subtask(self, ctx, inputs):
         (part,) = inputs
-        yield from ctx.charge_compute(part.nominal_count,
-                                      self.cost.flops_per_element,
-                                      self.cost.element_overhead_s)
+        yield from charge_udf_compute(ctx, self.cost, part.nominal_count,
+                                      part.nominal_nbytes, self.key_fn)
         groups = group_elements(part.elements, self.key_fn)
         out = [members[0] for members in groups.values()]
         return Partition(index=ctx.subtask_index, elements=out,

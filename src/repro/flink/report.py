@@ -56,6 +56,15 @@ def breakdown(metrics: JobMetrics) -> str:
         f"  HDFS read+write     {io_bytes / 1e6:10.1f} MB",
         f"  task retries        {metrics.retries:10d}",
     ]
+    if metrics.shuffle_zero_copy_bytes:
+        lines.append(f"  shuffle zero-copy   "
+                     f"{metrics.shuffle_zero_copy_bytes / 1e6:10.1f} MB")
+    if metrics.shuffle_spill_bytes:
+        lines.append(f"  shuffle spilled     "
+                     f"{metrics.shuffle_spill_bytes / 1e6:10.1f} MB")
+    if metrics.vectorized_blocks:
+        lines.append(f"  vectorized blocks   "
+                     f"{metrics.vectorized_blocks:10d}")
     if metrics.pipeline_max_queue_depth or \
             metrics.pipeline_backpressure_stalls or \
             metrics.pipeline_h2d_starved:

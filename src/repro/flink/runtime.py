@@ -72,7 +72,9 @@ class Cluster:
         self.workers: Dict[str, Worker] = {
             name: Worker(self.env, name, self.config) for name in names
         }
-        self.serializer = Serializer(self.config.flink.serde_bps)
+        self.serializer = Serializer(
+            self.config.flink.serde_bps,
+            block_header_s=self.config.flink.shuffle_block_header_s)
         self.jobmanager = JobManager(self)
         # op uid -> materialized partitions; survives jobs for persisted ops.
         self.materialized: Dict[int, List[Partition]] = {}

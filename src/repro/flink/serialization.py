@@ -18,16 +18,20 @@ class SerdeStats:
 
     bytes_serialized: float = 0.0
     bytes_deserialized: float = 0.0
+    bytes_zero_copy: float = 0.0
 
 
 class Serializer:
     """Charges serialization/deserialization time at a calibrated rate."""
 
-    def __init__(self, serde_bps: float, record_overhead_s: float = 15e-9):
+    def __init__(self, serde_bps: float, record_overhead_s: float = 15e-9,
+                 block_header_s: float = 2e-6):
         self.serde_bps = serde_bps
         self.record_overhead_s = record_overhead_s
+        self.block_header_s = block_header_s
         self.bytes_serialized = 0.0
         self.bytes_deserialized = 0.0
+        self.bytes_zero_copy = 0.0
 
     def serialize_time(self, nbytes: float, nrecords: float = 0.0) -> float:
         """Seconds to turn ``nrecords`` objects totaling ``nbytes`` into bytes."""
@@ -39,6 +43,19 @@ class Serializer:
         self.bytes_deserialized += nbytes
         return nbytes / self.serde_bps + nrecords * self.record_overhead_s
 
+    def zero_copy_time(self, nbytes: float, n_blocks: int = 1) -> float:
+        """Seconds to frame ``n_blocks`` columnar blocks totaling ``nbytes``.
+
+        The zero-copy exchange path: the payload's SoA byte regions go on
+        the wire verbatim, so no per-byte or per-record serde is charged —
+        only a fixed descriptor cost per framed block (length, dtype, key
+        range).  Bytes are tracked separately from serde bytes so tests
+        and metrics can assert the serde path was actually bypassed.
+        """
+        self.bytes_zero_copy += nbytes
+        return n_blocks * self.block_header_s
+
     def stats(self) -> SerdeStats:
         """Snapshot of accumulated serde byte counts."""
-        return SerdeStats(self.bytes_serialized, self.bytes_deserialized)
+        return SerdeStats(self.bytes_serialized, self.bytes_deserialized,
+                          self.bytes_zero_copy)

@@ -7,17 +7,40 @@ serialization) runs as processes on the producer's workers; wire time goes
 through the shared :class:`~repro.common.network.Network`; consumers pay
 deserialization.  Functional element routing (hash bucketing, combining) is
 computed for real so downstream results are correct.
+
+Two wire formats exist (docs/STREAMING_EXECUTOR.md §columnar):
+
+* **Row path** — the classic per-record model: serialize on the sender,
+  deserialize on the receiver, both at ``serde_bps`` plus a per-record
+  overhead.  Always used for list payloads, ``COUNT_COMBINER`` counts and
+  free-form combiners.
+* **Columnar path** — payloads that are NumPy/GStruct blocks with a
+  vectorized integer key extractor ship as raw SoA byte regions,
+  partitioned into pipeline-sized blocks.  No per-row serde is charged;
+  each framed block pays only a fixed descriptor cost on each side.  A
+  destination payload above ``FlinkConfig.shuffle_spill_nbytes`` is spilled
+  through the simulated HDFS (disk + replication) instead of held in
+  exchange buffers.
+
+``only_consumers`` (lineage recovery) restricts both paths identically:
+non-recovering consumer indexes get no shipping, no spill and a ``None``
+input slot.
 """
 
 from __future__ import annotations
 
+import itertools
 from typing import Any, Callable, Generator, List, Optional, Set, Tuple
 
 import numpy as np
 
 from repro.common.network import Network
 from repro.common.simclock import Environment, Event
-from repro.flink.iterators import apply_reduce, group_elements
+from repro.flink.columnar import (columnar_compatible, columnar_concat,
+                                  is_columnar, n_wire_blocks, soa_regions,
+                                  vector_keys)
+from repro.flink.config import FlinkConfig
+from repro.flink.iterators import apply_grouped_reduce, is_vectorized
 from repro.flink.partition import Partition, real_len
 from repro.flink.plan import ShipStrategy
 from repro.flink.serialization import Serializer
@@ -26,6 +49,9 @@ from repro.flink.serialization import Serializer
 #: Sentinel combiner: replace each bucket by its (nominal) element count.
 #: Lets ``count()`` ship 8 bytes per producer instead of the whole dataset.
 COUNT_COMBINER = object()
+
+_DEFAULT_FLINK = FlinkConfig()
+_spill_ids = itertools.count()
 
 
 def hash_bucket(key: Any, n: int) -> int:
@@ -45,9 +71,12 @@ def hash_bucket(key: Any, n: int) -> int:
 class ExchangeResult:
     """Inputs for every consumer subtask plus traffic accounting."""
 
-    def __init__(self, inputs: List[Partition], bytes_shuffled: float):
+    def __init__(self, inputs: List[Partition], bytes_shuffled: float,
+                 bytes_zero_copy: float = 0.0, bytes_spilled: float = 0.0):
         self.inputs = inputs
         self.bytes_shuffled = bytes_shuffled
+        self.bytes_zero_copy = bytes_zero_copy
+        self.bytes_spilled = bytes_spilled
 
 
 class Exchange:
@@ -59,7 +88,8 @@ class Exchange:
                  consumer_workers: List[str],
                  key_fn: Optional[Callable] = None,
                  combiner: Optional[Tuple[Callable, Callable]] = None,
-                 only_consumers: Optional[Set[int]] = None):
+                 only_consumers: Optional[Set[int]] = None,
+                 hdfs=None, flink: Optional[FlinkConfig] = None):
         self.env = env
         self.network = network
         self.serializer = serializer
@@ -73,7 +103,12 @@ class Exchange:
         # restricting the exchange to them skips shipping (and payloads) for
         # every other consumer index, whose input slot comes back as None.
         self.only_consumers = only_consumers
+        # Spill target for oversized destination payloads (None: never spill).
+        self.hdfs = hdfs
+        self.flink = flink if flink is not None else _DEFAULT_FLINK
         self.bytes_shuffled = 0.0
+        self.bytes_zero_copy = 0.0
+        self.bytes_spilled = 0.0
 
     def _want(self, j: int) -> bool:
         return self.only_consumers is None or j in self.only_consumers
@@ -96,7 +131,8 @@ class Exchange:
             inputs = yield from self._run_broadcast()
         else:  # pragma: no cover - exhaustive over the enum
             raise NotImplementedError(self.strategy)
-        return ExchangeResult(inputs, self.bytes_shuffled)
+        return ExchangeResult(inputs, self.bytes_shuffled,
+                              self.bytes_zero_copy, self.bytes_spilled)
 
     # -- forward ---------------------------------------------------------------
     def _run_forward(self) -> Generator[Event, None, List[Partition]]:
@@ -157,6 +193,39 @@ class Exchange:
             inputs[offset + i] = moved
         return inputs
 
+    # -- columnar eligibility -----------------------------------------------------
+    def _columnar_payloads(self) -> bool:
+        """Every producer payload is a NumPy block (or trivially empty)."""
+        return (bool(self.producers)
+                and all(columnar_compatible(p.elements)
+                        for p in self.producers)
+                and any(is_columnar(p.elements) for p in self.producers))
+
+    def _columnar_routed(self) -> bool:
+        """True when a routed exchange can take the zero-copy block path.
+
+        Requires columnar payloads, a block-compatible combiner (none, or a
+        vectorized ``(key_fn, reduce_fn)`` pair) and — for HASH — a
+        vectorized key extractor yielding integer keys on every producer.
+        ``COUNT_COMBINER`` and free-form combiners stay on the row path.
+        """
+        if not self.flink.columnar_shuffle or not self._columnar_payloads():
+            return False
+        if self.combiner is COUNT_COMBINER or callable(self.combiner):
+            return False
+        if self.combiner is not None:
+            key_fn, reduce_fn = self.combiner
+            if not (is_vectorized(key_fn) and is_vectorized(reduce_fn)):
+                return False
+        if self.strategy is ShipStrategy.HASH:
+            if self.key_fn is None or not is_vectorized(self.key_fn):
+                return False
+            for part in self.producers:
+                if (is_columnar(part.elements)
+                        and vector_keys(self.key_fn, part.elements) is None):
+                    return False
+        return True
+
     # -- routed strategies (hash / rebalance / gather) ----------------------------
     def _hash_route(self, part: Partition) -> List[Any]:
         buckets: List[List[Any]] = [[] for _ in range(self.n_consumers)]
@@ -173,31 +242,56 @@ class Exchange:
     def _gather_route(self, part: Partition) -> List[Any]:
         return [list(part.elements)]
 
+    def _route_columnar(self, part: Partition) -> List[Any]:
+        """Bucket a columnar payload without leaving NumPy.
+
+        Bucket contents and order match the per-row routes exactly: masks
+        preserve original order (hash), ``arr[j::q]`` is the round-robin
+        residue class (rebalance), gather keeps the block whole.
+        """
+        arr = part.elements
+        q = self.n_consumers
+        if self.strategy is ShipStrategy.GATHER:
+            return [arr]
+        if not is_columnar(arr):  # empty list payload
+            return [[] for _ in range(q)]
+        if self.strategy is ShipStrategy.HASH:
+            keys = vector_keys(self.key_fn, arr)
+            bucket_ids = keys % q  # ints: identical to hash_bucket()
+            return [arr[bucket_ids == j] for j in range(q)]
+        return [arr[j::q] for j in range(q)]
+
     def _run_routed(self, route: Callable[[Partition], List[Any]]
                     ) -> Generator[Event, None, List[Partition]]:
         q = self.n_consumers
-        # bucket_payloads[j] collects (elements, nominal_count) per producer.
-        bucket_payloads: List[List[Tuple[Any, float]]] = [[] for _ in range(q)]
+        columnar = self._columnar_routed()
+        # bucket_payloads[j] collects (elements, count, nbytes) per producer.
+        bucket_payloads: List[List[Tuple[Any, float, float]]] = [
+            [] for _ in range(q)]
         senders = []
-        if self.combiner is COUNT_COMBINER:
-            element_nbytes = 8.0  # partial counts travel as one long each
-        else:
-            element_nbytes = (self.producers[0].element_nbytes
-                              if self.producers else 8.0)
         for part in self.producers:
-            buckets = route(part)
+            buckets = self._route_columnar(part) if columnar else route(part)
             if self.combiner is COUNT_COMBINER:
                 buckets = [[real_len(b) * part.scale] for b in buckets]
                 counts = [1.0 for _ in buckets]
+                element_nbytes = 8.0  # partial counts travel as one long each
             elif self.combiner is not None:
                 buckets = [self._combine(b) for b in buckets]
-                counts = [float(real_len(b)) for b in buckets]
+                # Combined buckets are still samples: each real group stands
+                # for `scale` nominal groups, so shipped counts keep the
+                # producer's scale (previously dropped, under-charging wire
+                # and serde time for sampled datasets).
+                counts = [real_len(b) * part.scale for b in buckets]
+                element_nbytes = part.element_nbytes
             else:
                 counts = [real_len(b) * part.scale for b in buckets]
+                element_nbytes = part.element_nbytes
             for j, (bucket, count) in enumerate(zip(buckets, counts)):
-                bucket_payloads[j].append((bucket, count))
+                bucket_payloads[j].append(
+                    (bucket, count, count * element_nbytes))
             senders.append(self.env.process(
-                self._send_buckets(part, buckets, counts, element_nbytes),
+                self._send_buckets(part, buckets, counts, element_nbytes,
+                                   columnar),
                 name=f"shuffle-send-{part.index}"))
         if senders:
             yield self.env.all_of(senders)
@@ -206,31 +300,50 @@ class Exchange:
             if not self._want(j):
                 inputs.append(None)
                 continue
-            merged: List[Any] = []
-            nominal = 0.0
-            for bucket, count in bucket_payloads[j]:
-                merged.extend(bucket)
-                nominal += count
-            scale = nominal / len(merged) if merged else 1.0
-            inputs.append(Partition(index=j, elements=merged,
-                                    element_nbytes=element_nbytes,
-                                    scale=scale,
-                                    worker=self.consumer_workers[j]))
+            nominal = sum(count for _, count, _ in bucket_payloads[j])
+            nominal_nbytes = sum(nb for _, _, nb in bucket_payloads[j])
+            if columnar:
+                merged = columnar_concat(
+                    [bucket for bucket, _, _ in bucket_payloads[j]])
+            else:
+                merged = []
+                for bucket, _, _ in bucket_payloads[j]:
+                    merged.extend(bucket)
+            n_real = real_len(merged)
+            scale = nominal / n_real if n_real else 1.0
+            inputs.append(Partition(
+                index=j, elements=merged,
+                element_nbytes=self._merged_element_nbytes(
+                    nominal, nominal_nbytes),
+                scale=scale, worker=self.consumer_workers[j]))
         return inputs
 
-    def _combine(self, bucket: List[Any]) -> List[Any]:
-        if not bucket:
+    def _merged_element_nbytes(self, nominal_count: float,
+                               nominal_nbytes: float) -> float:
+        """Count-weighted per-element size of a merged consumer partition.
+
+        Producers may carry heterogeneous ``element_nbytes`` (e.g. after a
+        union of differently-shaped sides); weighting by shipped counts
+        conserves total nominal bytes instead of picking ``producers[0]``.
+        """
+        if nominal_count > 0:
+            return nominal_nbytes / nominal_count
+        if self.combiner is COUNT_COMBINER:
+            return 8.0
+        return self.producers[0].element_nbytes if self.producers else 8.0
+
+    def _combine(self, bucket: Any) -> Any:
+        if real_len(bucket) == 0:
             return bucket
         if callable(self.combiner):
             # Free-form producer-side combiner (e.g. first(n)'s truncation).
             return list(self.combiner(bucket))
         key_fn, reduce_fn = self.combiner
-        groups = group_elements(bucket, key_fn)
-        return [apply_reduce(members, reduce_fn)
-                for members in groups.values()]
+        return apply_grouped_reduce(bucket, key_fn, reduce_fn)
 
     def _send_buckets(self, part: Partition, buckets: List[Any],
-                      counts: List[float], element_nbytes: float
+                      counts: List[float], element_nbytes: float,
+                      columnar: bool = False
                       ) -> Generator[Event, None, None]:
         # Pre-combine compute is charged by the caller via the combiner's
         # operator cost; here we charge shipping: serialize once, then wire
@@ -240,42 +353,57 @@ class Exchange:
                 continue
             nbytes = count * element_nbytes
             dst = self.consumer_workers[j]
-            yield self.env.timeout(
-                self.serializer.serialize_time(nbytes, count))
-            yield from self.network.transfer(part.worker, dst, int(nbytes))
-            yield self.env.timeout(
-                self.serializer.deserialize_time(nbytes, count))
-            if part.worker != dst:
-                self.bytes_shuffled += nbytes
+            yield from self._ship_payload(
+                part.worker, dst, nbytes, count,
+                bucket, columnar, tag=f"{part.index}-{j}")
 
     # -- broadcast ----------------------------------------------------------------
     def _run_broadcast(self) -> Generator[Event, None, List[Partition]]:
+        columnar = self.flink.columnar_shuffle and self._columnar_payloads()
         senders = []
         total_nbytes = sum(p.nominal_nbytes for p in self.producers)
         total_count = sum(p.nominal_count for p in self.producers)
         for part in self.producers:
             senders.append(self.env.process(
-                self._broadcast_one(part), name=f"bcast-{part.index}"))
+                self._broadcast_one(part, columnar),
+                name=f"bcast-{part.index}"))
         if senders:
             yield self.env.all_of(senders)
-        merged: List[Any] = []
-        for part in self.producers:
-            merged.extend(list(part.elements))
-        element_nbytes = (self.producers[0].element_nbytes
-                          if self.producers else 8.0)
-        scale = total_count / len(merged) if merged else 1.0
-        return [Partition(index=j, elements=list(merged),
+        if columnar:
+            merged = columnar_concat([p.elements for p in self.producers])
+        else:
+            merged = []
+            for part in self.producers:
+                merged.extend(list(part.elements))
+        # Count-weighted per-element size: conserves total nominal bytes for
+        # heterogeneous producers instead of assuming producers[0]'s shape.
+        if total_count > 0:
+            element_nbytes = total_nbytes / total_count
+        else:
+            element_nbytes = (self.producers[0].element_nbytes
+                              if self.producers else 8.0)
+        n_real = real_len(merged)
+        scale = total_count / n_real if n_real else 1.0
+        return [Partition(index=j,
+                          elements=merged if columnar else list(merged),
                           element_nbytes=element_nbytes, scale=scale,
                           worker=self.consumer_workers[j])
                 if self._want(j) else None
                 for j in range(self.n_consumers)]
 
-    def _broadcast_one(self, part: Partition) -> Generator[Event, None, None]:
-        wanted = [dst for j, dst in enumerate(self.consumer_workers)
+    def _broadcast_one(self, part: Partition,
+                       columnar: bool = False
+                       ) -> Generator[Event, None, None]:
+        wanted = [(j, dst) for j, dst in enumerate(self.consumer_workers)
                   if self._want(j)]
-        for dst in dict.fromkeys(wanted):
-            yield from self._ship(part.worker, dst, part.nominal_nbytes,
-                                  part.nominal_count)
+        seen = set()
+        for j, dst in wanted:
+            if dst in seen:
+                continue
+            seen.add(dst)
+            yield from self._ship_payload(
+                part.worker, dst, part.nominal_nbytes, part.nominal_count,
+                part.elements, columnar, tag=f"b{part.index}-{j}")
 
     # -- common ------------------------------------------------------------------
     def _ship(self, src: str, dst: str, nbytes: float,
@@ -285,3 +413,53 @@ class Exchange:
         yield self.env.timeout(self.serializer.deserialize_time(nbytes, count))
         if src != dst:
             self.bytes_shuffled += nbytes
+
+    def _ship_payload(self, src: str, dst: str, nbytes: float, count: float,
+                      payload: Any, columnar: bool, tag: str
+                      ) -> Generator[Event, None, None]:
+        """Move one destination payload: zero-copy or row serde, spilling
+        oversized payloads through HDFS instead of direct exchange buffers."""
+        blocks = 0
+        if columnar:
+            regions = (soa_regions(payload) if is_columnar(payload)
+                       else [int(nbytes)])
+            blocks = n_wire_blocks(nbytes, self.flink.pipeline_block_nbytes,
+                                   len(regions))
+            # Sender frames block descriptors; bytes bypass serde entirely.
+            yield self.env.timeout(
+                self.serializer.zero_copy_time(nbytes, blocks))
+        else:
+            yield self.env.timeout(
+                self.serializer.serialize_time(nbytes, count))
+        if (self.hdfs is not None
+                and nbytes > self.flink.shuffle_spill_nbytes):
+            yield from self._spill(src, dst, nbytes, tag)
+        else:
+            yield from self.network.transfer(src, dst, int(nbytes))
+        if columnar:
+            # Receiver re-parses the block descriptors; no per-row deser.
+            yield self.env.timeout(blocks * self.serializer.block_header_s)
+        else:
+            yield self.env.timeout(
+                self.serializer.deserialize_time(nbytes, count))
+        if src != dst:
+            self.bytes_shuffled += nbytes
+        if columnar:
+            self.bytes_zero_copy += nbytes
+
+    def _spill(self, src: str, dst: str, nbytes: float,
+               tag: str) -> Generator[Event, None, None]:
+        """Route one oversized payload through the simulated HDFS.
+
+        The producer writes the region as a block (disk + replication),
+        the consumer reads it back at its node (local replica if the
+        namenode placed one there, else disk + network); the scratch file
+        is deleted once consumed.
+        """
+        path = f"/.shuffle/spill-{next(_spill_ids)}-{tag}"
+        self.hdfs.namenode.create_file(path)
+        block = yield from self.hdfs.append_block(
+            path, None, int(nbytes), writer_node=src)
+        yield from self.hdfs.read_block(block, dst)
+        self.bytes_spilled += nbytes
+        self.hdfs.delete(path)

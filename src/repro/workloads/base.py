@@ -63,7 +63,8 @@ class Workload:
     def __init__(self, nominal_elements: float, real_elements: int,
                  element_nbytes: float, iterations: int = 5,
                  seed: int = DEFAULT_SEED, path: Optional[str] = None,
-                 output_path: Optional[str] = None):
+                 output_path: Optional[str] = None,
+                 vectorized: bool = False):
         if real_elements <= 0:
             raise ConfigError("real_elements must be positive")
         if nominal_elements < real_elements:
@@ -73,6 +74,10 @@ class Workload:
         self.real_elements = int(real_elements)
         self.element_nbytes = float(element_nbytes)
         self.iterations = iterations
+        #: Use block-vectorized CPU UDFs (repro.flink.iterators.vectorized):
+        #: same results bit for bit, but operators are charged the SIMD
+        #: block model and exchanges take the columnar zero-copy path.
+        self.vectorized = bool(vectorized)
         self.seed = seed
         self.path = path or f"/{self.name}/input-{int(nominal_elements)}"
         # Derived from the input path so two instances of the same workload

@@ -24,6 +24,7 @@ import numpy as np
 from repro.core.gdst import ExtraInput
 from repro.core.gstruct import Float32, GStruct8, StructField
 from repro.flink.dataset import OpCost
+from repro.flink.iterators import vectorized
 from repro.gpu.kernel import KernelSpec
 from repro.workloads.base import Workload, ensure_kernel, even_chunk_sizes
 
@@ -129,7 +130,7 @@ class KMeansWorkload(Workload):
         centers = self._initial_centers()
         times = []
         for it in range(self.iterations):
-            partial_fn = _make_cpu_partial(centers)
+            partial_fn = _make_cpu_partial(centers, self.vectorized)
             partials = points.map_partition(
                 partial_fn,
                 cost=OpCost(flops_per_element=self.CPU_FLOPS,
@@ -147,7 +148,7 @@ class KMeansWorkload(Workload):
         return centers, times
 
     def _write_labels_cpu(self, session, points, centers):
-        label_fn = _make_cpu_label(centers)
+        label_fn = _make_cpu_label(centers, self.vectorized)
         out = points.map_partition(
             label_fn,
             cost=OpCost(flops_per_element=self.CPU_FLOPS,
@@ -192,8 +193,14 @@ def _label(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
     return np.argmin(d2, axis=1).astype(np.int32)
 
 
-def _make_cpu_partial(centers: np.ndarray):
+def _make_cpu_partial(centers: np.ndarray, vec: bool = False):
     snapshot = np.array(centers, dtype=np.float64)
+
+    if vec:
+        # Same arithmetic; the (k, 2+DIM) table stays one columnar block,
+        # and the vectorized marker selects the SIMD block charge model.
+        return vectorized(
+            lambda elements: _assign_partials(elements, snapshot))
 
     def partial(elements: np.ndarray) -> List[np.ndarray]:
         return list(_assign_partials(elements, snapshot))
@@ -201,10 +208,10 @@ def _make_cpu_partial(centers: np.ndarray):
     return partial
 
 
-def _make_cpu_label(centers: np.ndarray):
+def _make_cpu_label(centers: np.ndarray, vec: bool = False):
     snapshot = np.array(centers, dtype=np.float64)
 
     def label(elements: np.ndarray) -> np.ndarray:
         return _label(elements, snapshot)
 
-    return label
+    return vectorized(label) if vec else label

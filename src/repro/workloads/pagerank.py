@@ -22,6 +22,7 @@ import numpy as np
 from repro.core.gdst import ExtraInput
 from repro.core.gstruct import GStruct4, Int32, StructField
 from repro.flink.dataset import OpCost
+from repro.flink.iterators import vectorized
 from repro.gpu.kernel import KernelSpec
 from repro.workloads.base import Workload, ensure_kernel, even_chunk_sizes
 
@@ -47,6 +48,20 @@ def _contrib_partials(edges: np.ndarray, ranks: np.ndarray,
 def pagerank_contrib_kernel(inputs, params):
     return {"out": _contrib_partials(inputs["in"], inputs["ranks"],
                                      inputs["out_degree"])}
+
+
+def _sum_contrib(group: np.ndarray) -> np.ndarray:
+    """Vectorized per-destination reducer over a (rows, 2) group block.
+
+    Accumulates sequentially in group order so the float result is
+    bit-identical to the element path's left fold over the same rows.
+    """
+    out = group[0].copy()
+    acc = out[1]
+    for v in group[1:, 1]:
+        acc = acc + v
+    out[1] = acc
+    return out
 
 
 class PageRankWorkload(Workload):
@@ -123,27 +138,41 @@ class PageRankWorkload(Workload):
                     out_element_nbytes=16.0)
             else:
                 r, d = state["ranks"].copy(), out_degree
+                contrib_fn = lambda e, r=r, d=d: _contrib_partials(e, r, d)
+                if self.vectorized:
+                    contrib_fn = vectorized(contrib_fn)
                 partial_rows = edges.map_partition(
-                    lambda e, r=r, d=d: _contrib_partials(e, r, d),
+                    contrib_fn,
                     cost=OpCost(flops_per_element=self.CPU_FLOPS,
                                 out_element_nbytes=16.0,
                                 element_overhead_s=self.CPU_OVERHEAD_S),
                     name="pagerank-contrib")
             # Shuffle the partials by destination and sum — the phase that
             # caps PageRank's speedup.
-            summed = partial_rows.map_partition(
-                lambda rows: [(int(r[0]), float(r[1])) for r in rows],
-                cost=OpCost(flops_per_element=0.0),
-                name="pagerank-tuples") \
-                .group_by(lambda kv: kv[0]) \
-                .reduce(lambda a, b: (a[0], a[1] + b[1]),
-                        cost=OpCost(flops_per_element=1.0),
-                        name="pagerank-sum")
+            if self.vectorized:
+                # Columnar end to end: no tuple materialization; the float64
+                # [dst, partial] rows shuffle zero-copy and are group-summed
+                # in blocks (same fold order: results are bit-identical).
+                summed = partial_rows \
+                    .group_by(vectorized(
+                        lambda rows: rows[:, 0].astype(np.int64))) \
+                    .reduce(vectorized(_sum_contrib),
+                            cost=OpCost(flops_per_element=1.0),
+                            name="pagerank-sum")
+            else:
+                summed = partial_rows.map_partition(
+                    lambda rows: [(int(r[0]), float(r[1])) for r in rows],
+                    cost=OpCost(flops_per_element=0.0),
+                    name="pagerank-tuples") \
+                    .group_by(lambda kv: kv[0]) \
+                    .reduce(lambda a, b: (a[0], a[1] + b[1]),
+                            cost=OpCost(flops_per_element=1.0),
+                            name="pagerank-sum")
             result = yield from summed.collect_job(
                 job_name=f"pagerank-{'gpu' if gpu else 'cpu'}-iter{it}")
             new_ranks = np.full(n, (1.0 - DAMPING) / n)
             for dst, total in result.value:
-                new_ranks[dst] += DAMPING * total
+                new_ranks[int(dst)] += DAMPING * float(total)
             state["ranks"] = new_ranks
             seconds = result.seconds
             if it == self.iterations - 1:

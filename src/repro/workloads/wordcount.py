@@ -18,6 +18,7 @@ from typing import List, Tuple
 import numpy as np
 
 from repro.flink.dataset import OpCost
+from repro.flink.iterators import vectorized
 from repro.gpu.kernel import KernelSpec
 from repro.workloads.base import Workload, ensure_kernel, even_chunk_sizes
 
@@ -30,6 +31,26 @@ def _partial_counts(word_ids: np.ndarray) -> List[Tuple[int, int]]:
     counts = np.bincount(word_ids, minlength=0)
     nz = np.nonzero(counts)[0]
     return [(int(w), int(counts[w])) for w in nz]
+
+
+def _partial_rows(word_ids: np.ndarray) -> np.ndarray:
+    """Columnar (word, count) partials: same values as
+    :func:`_partial_counts`, kept as one int64 block so the exchange ships
+    it zero-copy."""
+    counts = np.bincount(word_ids, minlength=0)
+    nz = np.nonzero(counts)[0]
+    return np.stack([nz, counts[nz]], axis=1).astype(np.int64)
+
+
+def _sum_rows(group: np.ndarray) -> np.ndarray:
+    """Vectorized per-key reducer over a (count-rows, 2) group block.
+
+    Integer sums are exact, so totals are bit-identical to the element
+    path's pairwise fold whatever the summation order.
+    """
+    out = group[0].copy()
+    out[1] = group[:, 1].sum()
+    return out
 
 
 def wordcount_kernel(inputs, params):
@@ -73,26 +94,40 @@ class WordCountWorkload(Workload):
 
     # -- drivers ------------------------------------------------------------------
     def _finish(self, partials_ds):
-        totals = partials_ds \
-            .group_by(lambda wc: int(wc[0])) \
-            .reduce(lambda a, b: (a[0], a[1] + b[1]),
-                    cost=OpCost(flops_per_element=1.0),
-                    name="wordcount-sum")
+        if self.vectorized:
+            totals = partials_ds \
+                .group_by(vectorized(lambda rows: rows[:, 0])) \
+                .reduce(vectorized(_sum_rows),
+                        cost=OpCost(flops_per_element=1.0),
+                        name="wordcount-sum")
+        else:
+            totals = partials_ds \
+                .group_by(lambda wc: int(wc[0])) \
+                .reduce(lambda a, b: (a[0], a[1] + b[1]),
+                        cost=OpCost(flops_per_element=1.0),
+                        name="wordcount-sum")
         write = yield from totals.write_hdfs_job(self.output_path)
         return write
 
     def _tokenize(self, session):
         words = session.read_hdfs(self.path, self.element_nbytes,
                                   scale=self.scale)
+        tokenize = lambda ids: ids  # text -> word ids; identity on sample
+        if self.vectorized:
+            tokenize = vectorized(tokenize)
         return words.map_partition(
-            lambda ids: ids,  # text -> word ids; identity on our sample
+            tokenize,
             cost=OpCost(flops_per_element=2.0,
                         element_overhead_s=self.TOKENIZE_OVERHEAD_S),
             name="wordcount-tokenize")
 
     def _run_cpu(self, session):
+        if self.vectorized:
+            count_fn = vectorized(_partial_rows)
+        else:
+            count_fn = lambda ids: _partial_counts(ids)
         partials = self._tokenize(session).map_partition(
-            lambda ids: _partial_counts(ids),
+            count_fn,
             cost=OpCost(flops_per_element=self.CPU_FLOPS,
                         out_element_nbytes=12.0,
                         element_overhead_s=self.COUNT_OVERHEAD_S),
@@ -102,8 +137,11 @@ class WordCountWorkload(Workload):
 
     def _run_gpu(self, session):
         pairs = self._tokenize(session).gpu_map_partition(
-            "wordcount_hist", out_element_nbytes=12.0) \
-            .map_partition(
+            "wordcount_hist", out_element_nbytes=12.0)
+        if not self.vectorized:
+            # Row boundary: vectorized mode keeps the kernel's int64 rows
+            # columnar instead of materializing Python tuples.
+            pairs = pairs.map_partition(
                 lambda rows: [(int(r[0]), int(r[1])) for r in rows],
                 cost=OpCost(flops_per_element=0.0),
                 name="wordcount-tuples")

@@ -1,0 +1,81 @@
+"""Vectorized (columnar) execution is a pure charge-model change.
+
+The ``vectorized=True`` workload flag switches the CPU operators to block
+UDFs and the exchanges to the columnar zero-copy wire format.  Results must
+be *bit-identical* to the element path in every mode — the flag may only
+move simulated time, never values.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import GFlinkSession
+from repro.workloads import (
+    KMeansWorkload,
+    PageRankWorkload,
+    WordCountWorkload,
+)
+from tests.workloads.conftest import small_cluster
+
+
+def run_flagged(factory, mode, vectorized):
+    cluster = small_cluster()
+    wl = factory(vectorized)
+    result = wl.run(GFlinkSession(cluster), mode)
+    return cluster, wl, result
+
+
+def wordcount_output(cluster, wl):
+    merged = {}
+    for block in cluster.hdfs.locate(wl.output_path):
+        for row in block.payload:
+            merged[int(row[0])] = merged.get(int(row[0]), 0) + int(row[1])
+    return merged
+
+
+class TestWordCountIdentity:
+    @pytest.mark.parametrize("mode", ["cpu", "gpu"])
+    def test_counts_bit_identical(self, mode):
+        factory = lambda vec: WordCountWorkload(
+            nominal_elements=1e8, real_elements=5000, vectorized=vec)
+        outs = {}
+        for vec in (False, True):
+            cluster, wl, result = run_flagged(factory, mode, vec)
+            outs[vec] = wordcount_output(cluster, wl)
+            if vec:
+                zero_copy = sum(m.shuffle_zero_copy_bytes
+                                for m in result.job_metrics)
+                assert zero_copy > 0  # the columnar path actually engaged
+        assert outs[True] == outs[False]
+
+    def test_vectorized_cuts_makespan(self):
+        factory = lambda vec: WordCountWorkload(
+            nominal_elements=1e8, real_elements=5000, vectorized=vec)
+        _, _, element = run_flagged(factory, "cpu", False)
+        _, _, block = run_flagged(factory, "cpu", True)
+        assert block.total_seconds < element.total_seconds
+
+
+class TestKMeansIdentity:
+    @pytest.mark.parametrize("mode", ["cpu", "gpu"])
+    def test_centers_bit_identical(self, mode):
+        factory = lambda vec: KMeansWorkload(
+            nominal_elements=1e6, real_elements=3000, iterations=4,
+            vectorized=vec)
+        centers = {}
+        for vec in (False, True):
+            _, _, result = run_flagged(factory, mode, vec)
+            centers[vec] = np.asarray(result.value, dtype=np.float64)
+        assert np.array_equal(centers[True], centers[False])
+
+
+class TestPageRankIdentity:
+    @pytest.mark.parametrize("mode", ["cpu", "gpu"])
+    def test_ranks_bit_identical(self, mode):
+        factory = lambda vec: PageRankWorkload(
+            nominal_pages=1e5, real_pages=400, iterations=3, vectorized=vec)
+        ranks = {}
+        for vec in (False, True):
+            _, _, result = run_flagged(factory, mode, vec)
+            ranks[vec] = np.asarray(result.value, dtype=np.float64)
+        assert np.array_equal(ranks[True], ranks[False])
