@@ -93,12 +93,34 @@ if [[ "${1:-}" != "--fast" ]]; then
     test -s traces/ci_monitor_dashboard.html
     grep -q '<svg' traces/ci_monitor_dashboard.html
 
-    echo "== bench smoke: GPU chaining ablation + cache policies + zero-copy shuffle =="
+    echo "== churn smoke: wordcount with a mid-job join + drain, bit-identical =="
+    # Elastic membership must change placement/timing only, never the
+    # answer: the command exits non-zero unless the churned run's result
+    # is identical to the static run's.  The trace (join/drain/rebalance
+    # instants included) must keep validating against the schema.
+    python -m repro chaos wordcount --mode gpu --workers 4 --real 4000 \
+        --churn join@150 --churn drain:worker1@175 --backoff 0.05 \
+        --out traces/ci_churn_wordcount.json
+    python -m repro.obs.validate traces/ci_churn_wordcount.json
+
+    echo "== churn profile gate: regression vs committed baseline =="
+    # Same deterministic-clock contract as the fault-free gate: refresh
+    # the baseline deliberately with:
+    #   python -m repro profile traces/ci_churn_wordcount.json --quiet \
+    #       --json traces/ci_churn_wordcount_profile_baseline.json
+    python -m repro profile traces/ci_churn_wordcount.json \
+        --json traces/ci_churn_profile_summary.json \
+        --baseline traces/ci_churn_wordcount_profile_baseline.json \
+        --threshold makespan_s=0.25 --threshold critical_path=0.60 \
+        --threshold operator_wall=0.60 --threshold overlap_pct=0.50
+
+    echo "== bench smoke: GPU chaining ablation + cache policies + zero-copy shuffle + elasticity =="
     python -m pytest -q \
         benchmarks/bench_ablation_gpu_chaining.py \
         benchmarks/bench_fig8_cache.py \
-        benchmarks/bench_shuffle.py
-    echo "consolidated results written to BENCH_PR1.json and BENCH_PR8.json"
+        benchmarks/bench_shuffle.py \
+        benchmarks/bench_elastic.py
+    echo "consolidated results written to BENCH_PR1.json, BENCH_PR8.json and BENCH_PR9.json"
 fi
 
 echo "CI OK"

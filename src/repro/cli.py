@@ -104,6 +104,20 @@ def _add_fault_options(p: argparse.ArgumentParser) -> None:
                    help="random PCIe faults per simulated second")
     p.add_argument("--backoff", type=float, default=0.05,
                    help="retry back-off base seconds (0 disables)")
+    p.add_argument("--churn", action="append", default=[],
+                   metavar="EVENT",
+                   help="membership event: join@T (auto-named), "
+                        "join:NAME@T, drain:WORKER@T or leave:WORKER@T")
+    p.add_argument("--join-rate", type=float, default=0.0,
+                   help="random worker joins per simulated second")
+    p.add_argument("--leave-rate", type=float, default=0.0,
+                   help="random worker departures per simulated second")
+    p.add_argument("--drain-fraction", type=float, default=0.5,
+                   help="probability a random departure is a graceful "
+                        "drain rather than an abrupt leave")
+    p.add_argument("--min-workers", type=int, default=1,
+                   help="random departures never shrink the cluster "
+                        "below this")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -114,6 +128,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = sub.add_parser("run", help="run one workload")
     _add_run_options(run, single_mode=False)
+    run.add_argument("--autoscale", action="store_true",
+                     help="run the profiler-driven autoscaler: add workers "
+                          "under slot pressure, retune the pipeline online")
+    run.add_argument("--max-workers", type=int, default=None,
+                     help="autoscaler ceiling on cluster size (default: "
+                          "2x the starting worker count)")
 
     trace = sub.add_parser(
         "trace", help="run one workload with tracing, write a Chrome trace")
@@ -215,14 +235,23 @@ def _cmd_run(args, out) -> int:
     gpus = tuple(g for g in args.gpus.split(",") if g)
     modes = ("cpu", "gpu") if args.mode == "both" else (args.mode,)
     results = {}
+    scalers = {}
     for mode in modes:
         config = ClusterConfig(n_workers=args.workers, cpu=CPUSpec(),
                                gpus_per_worker=gpus if mode == "gpu" else
                                gpus,
                                flink=FlinkConfig(executor=args.executor))
         cluster = GFlinkCluster(config)
+        if getattr(args, "autoscale", False):
+            from repro.flink.autoscaler import Autoscaler, AutoscalerPolicy
+            policy = AutoscalerPolicy(
+                max_workers=args.max_workers or 2 * args.workers)
+            scalers[mode] = Autoscaler(cluster, policy)
+            scalers[mode].start()
         workload = _make_workload(args.workload, args)
         results[mode] = workload.run(GFlinkSession(cluster), mode)
+        if mode in scalers:
+            scalers[mode].stop()
 
     print(f"workload={args.workload} workers={args.workers} "
           f"gpus/worker={list(gpus)}", file=out)
@@ -230,6 +259,15 @@ def _cmd_run(args, out) -> int:
         iters = "  ".join(f"{t:7.2f}" for t in result.iteration_seconds)
         print(f"  {mode:3s} total {result.total_seconds:9.2f} s | "
               f"per-iteration: {iters}", file=out)
+        scaler = scalers.get(mode)
+        if scaler is not None:
+            added = [d for d in scaler.decisions if d.action == "add_worker"]
+            print(f"      autoscaler: {len(scaler.decisions)} decisions "
+                  f"({len(added)} workers added, final size "
+                  f"{len(scaler.cluster.member_names())})", file=out)
+            for d in scaler.decisions:
+                print(f"        {d.time:7.2f}s {d.signal:<11} -> "
+                      f"{d.action} {d.detail}", file=out)
     if len(results) == 2:
         speedup = (results["cpu"].total_seconds
                    / results["gpu"].total_seconds)
@@ -321,11 +359,29 @@ def _parse_device_fault(spec: str, default_kind, allowed):
     return worker, int(dev) if dev else 0, float(at), kind
 
 
+def _parse_churn(spec: str):
+    """``join[:NAME]@T`` / ``drain:WORKER@T`` / ``leave:WORKER@T``."""
+    loc, sep, at = spec.partition("@")
+    action, _, target = loc.partition(":")
+    if not sep or action not in ("join", "drain", "leave") \
+            or (action != "join" and not target):
+        raise SystemExit(f"bad --churn spec {spec!r}: expected join[:NAME]@T"
+                         ", drain:WORKER@T or leave:WORKER@T")
+    return action, target or None, float(at)
+
+
 def _build_schedule(args, worker_names, n_gpus):
     from repro.flink.chaos import (
-        ChaosSchedule, FaultKind, GPU_FAULT_KINDS, PCIE_FAULT_KINDS)
+        ChaosSchedule, ChurnSchedule, FaultKind, GPU_FAULT_KINDS,
+        PCIE_FAULT_KINDS)
     schedule = ChaosSchedule()
     known = set(worker_names)
+    churn_specs = [_parse_churn(spec) for spec in args.churn]
+    # Joins introduce names mid-run; later --kill/--churn specs may target
+    # them (the engine skips, with a trace, any that never materialize).
+    for action, target, _ in churn_specs:
+        if action == "join" and target:
+            known.add(target)
 
     def check_worker(worker, spec):
         if worker not in known:
@@ -346,6 +402,30 @@ def _build_schedule(args, worker_names, n_gpus):
             spec, FaultKind.PCIE_CORRUPT, PCIE_FAULT_KINDS)
         check_worker(worker, spec)
         schedule.fault_pcie(worker, dev, at=at, kind=kind)
+    for (action, target, at), spec in zip(churn_specs, args.churn):
+        if action == "join":
+            before = {e.worker for e in schedule.events
+                      if e.kind is FaultKind.WORKER_JOIN}
+            schedule.join_worker(at=at, name=target)
+            known |= {e.worker for e in schedule.events
+                      if e.kind is FaultKind.WORKER_JOIN} - before
+        elif action == "drain":
+            check_worker(target, spec)
+            schedule.drain_worker(target, at=at)
+        else:
+            check_worker(target, spec)
+            schedule.leave_worker(target, at=at)
+    if args.join_rate > 0 or args.leave_rate > 0:
+        from repro.common.rng import DEFAULT_SEED
+        seed = args.chaos_seed if args.chaos_seed is not None else \
+            (args.seed if args.seed is not None else DEFAULT_SEED)
+        drawn = ChurnSchedule.random(
+            seed=seed, duration_s=args.duration, workers=worker_names,
+            join_rate=args.join_rate, leave_rate=args.leave_rate,
+            drain_fraction=args.drain_fraction,
+            min_workers=args.min_workers)
+        for event in drawn.events:
+            schedule.add(event)
     if (args.worker_kill_rate > 0 or args.gpu_fault_rate > 0
             or args.pcie_fault_rate > 0):
         from repro.common.rng import DEFAULT_SEED
@@ -386,8 +466,8 @@ def _cmd_chaos(args, out) -> int:
         args, ClusterConfig(n_workers=args.workers).worker_names(),
         len(gpus) if args.mode == "gpu" else 0)
     if not len(schedule):
-        print("empty fault schedule: pass --kill/--gpu-fail/--pcie-fault "
-              "or a nonzero --*-rate", file=out)
+        print("empty fault schedule: pass --kill/--gpu-fail/--pcie-fault/"
+              "--churn or a nonzero --*-rate", file=out)
         return 2
 
     _, _, baseline = run_once(tracing=False)

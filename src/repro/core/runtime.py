@@ -41,9 +41,37 @@ class GFlinkCluster(Cluster):
         self.gpu_config = gpu_config or GPUManagerConfig()
         if self.config.gpus_per_worker:
             for worker in self.workers.values():
-                worker.gpumanager = GPUManager(
-                    self.env, worker.name, self.config.gpus_per_worker,
-                    self.registry, self.gpu_config, obs=self.obs)
+                if worker.gpumanager is None:
+                    worker.gpumanager = GPUManager(
+                        self.env, worker.name, self.config.gpus_per_worker,
+                        self.registry, self.gpu_config, obs=self.obs)
+
+    def _make_worker(self, name: str):
+        """Elastic joiners get a GPUManager too (initial workers are armed
+        by ``__init__`` above — the kernel registry does not exist yet while
+        the base constructor builds them)."""
+        worker = super()._make_worker(name)
+        registry = getattr(self, "registry", None)
+        if registry is not None and self.config.gpus_per_worker:
+            worker.gpumanager = GPUManager(
+                self.env, name, self.config.gpus_per_worker,
+                registry, self.gpu_config, obs=self.obs)
+        return worker
+
+    @property
+    def default_gpu_parallelism(self) -> int:
+        """Default parallelism for one-partition-per-GPU datasets.
+
+        Pinned to the *configured* shape (workers x GPUs per worker), not
+        live membership, for the same reason as
+        :attr:`~repro.flink.runtime.Cluster.default_parallelism`: partition
+        counts decide per-partition kernel partials (block sums, bincounts),
+        so counting joiners' devices would change results under churn.
+        Joiners add capacity for placing the pinned partitions, not more
+        partitions.
+        """
+        return max(self.config.n_workers * len(self.config.gpus_per_worker),
+                   1)
 
     # -- cluster-wide GPU metrics ---------------------------------------------------
     def gpu_managers(self) -> list[GPUManager]:

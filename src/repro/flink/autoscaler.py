@@ -1,0 +1,223 @@
+"""Profiler-driven autoscaler: elastic capacity + online tuning.
+
+The :class:`Autoscaler` is a master-side control loop (a simulation process
+ticking every ``policy.interval_s``) that reads the signals the
+observability plane already produces and maps each bottleneck class onto
+one concrete actuation:
+
+=================  ============================================  =========================
+signal             meaning                                       action
+=================  ============================================  =========================
+``sched_bound``    slot pressure: queued+running subtasks per    ``Cluster.add_worker()``
+                   member slot exceeds ``slot_pressure_high``    (more slots, up to
+                   (task waves queue behind slots)               ``max_workers``)
+``hdfs_bound``     remote-read fraction of ``hdfs.reads``        deepen the pipelined
+                   exceeds ``remote_read_fraction_high``         read queue
+                   (source parallelism starves on the network)   (``pipeline_queue_blocks``)
+``pcie_bound``     a profile summary classifies an operator as   prefer cache/block-local
+                   PCIe-dominated (H2D/D2H on the critical       placement unconditionally;
+                   path)                                         widen pipeline blocks
+=================  ============================================  =========================
+
+Live counters (slot pressure, read locality) are polled every tick;
+``pcie_bound`` comes from offline profile summaries fed in through
+:meth:`Autoscaler.observe_profile` (e.g. the previous run's summary, or a
+mid-run flush).  Actuations write the cluster's mutable
+:class:`~repro.flink.config.RuntimeTuning` overlay — never the frozen
+config — so logical partitioning, and with it the job's result, is
+untouched: the autoscaler changes *when and where* work runs, not *what*
+runs.
+
+Every decision is appended to :attr:`Autoscaler.decisions`, traced as an
+alert-style instant on the master's ``autoscaler`` lane, and counted under
+``autoscale.decisions`` so the resilience report and dashboard can show
+what the loop did and why.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, TYPE_CHECKING
+
+from repro.common.simclock import Event
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.flink.runtime import Cluster
+
+__all__ = ["AutoscalerPolicy", "Autoscaler"]
+
+
+@dataclass(frozen=True)
+class AutoscalerPolicy:
+    """Thresholds and actuation limits for one autoscaler instance."""
+
+    #: Control-loop tick (simulated seconds).
+    interval_s: float = 2.0
+    #: Minimum spacing between two scale-out actuations.
+    cooldown_s: float = 5.0
+    #: Hard ceiling on cluster size (members), counting the initial workers.
+    max_workers: int = 8
+    #: Queued+running subtasks per member slot above which the cluster is
+    #: scheduler-bound and a worker is added.
+    slot_pressure_high: float = 1.5
+    #: Remote fraction of HDFS block reads above which the read side is
+    #: network-starved and the pipelined read queue is deepened.
+    remote_read_fraction_high: float = 0.5
+    #: Ceilings for the tuning actuations (never raised past these).
+    max_queue_blocks: int = 16
+    max_block_nbytes: float = 64 * 2**20
+
+
+@dataclass
+class ScaleDecision:
+    """One actuation (or explicit hold) taken by the control loop."""
+
+    time: float
+    signal: str      # "sched_bound" | "hdfs_bound" | "pcie_bound"
+    action: str      # "add_worker" | "deepen_queue" | "prefer_cache" | ...
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+
+class Autoscaler:
+    """Online capacity/tuning controller for one :class:`Cluster`."""
+
+    def __init__(self, cluster: "Cluster",
+                 policy: Optional[AutoscalerPolicy] = None):
+        self.cluster = cluster
+        self.env = cluster.env
+        self.policy = policy or AutoscalerPolicy()
+        self.decisions: List[ScaleDecision] = []
+        self._stop = False
+        self._process = None
+        self._last_scale_at = -float("inf")
+        # hdfs.reads counter levels at the previous tick, so each window
+        # evaluates the *delta* (recent behavior), not the lifetime mix.
+        self._reads_seen = {"local": 0.0, "remote": 0.0}
+        # pcie_bound is level-triggered by profile summaries but should
+        # actuate once per observation, not every tick.
+        self._pcie_pending = False
+
+    # -- lifecycle ---------------------------------------------------------------
+    def start(self) -> None:
+        """Install the control loop into the cluster's simulation."""
+        if self._process is None:
+            self._process = self.env.process(self._run(), name="autoscaler")
+
+    def stop(self) -> None:
+        """Stop evaluating; a tick already scheduled becomes a no-op."""
+        self._stop = True
+
+    def _run(self) -> Generator[Event, None, None]:
+        while not self._stop:
+            yield self.env.timeout(self.policy.interval_s)
+            if self._stop:
+                break
+            self._evaluate()
+
+    # -- external signals --------------------------------------------------------
+    def observe_profile(self, summary: Dict[str, Any]) -> None:
+        """Feed a :mod:`repro.obs.profile` summary into the controller.
+
+        Any operator classified ``pcie_bound`` arms the prefer-cache /
+        wider-blocks actuation, applied on the next tick (or immediately if
+        the loop is not running).
+        """
+        ops = (summary or {}).get("operators", {})
+        bound = sorted(op for op, entry in ops.items()
+                       if entry.get("class") == "pcie_bound")
+        if not bound:
+            return
+        self._pcie_pending = True
+        if self._process is None:
+            self._apply_pcie(bound)
+
+    # -- one evaluation ------------------------------------------------------------
+    def _evaluate(self) -> None:
+        if self._pcie_pending:
+            self._pcie_pending = False
+            self._apply_pcie([])
+        pressure = self.slot_pressure()
+        if pressure > self.policy.slot_pressure_high:
+            self._maybe_add_worker(pressure)
+        remote_frac = self._remote_read_fraction()
+        if remote_frac is not None \
+                and remote_frac > self.policy.remote_read_fraction_high:
+            self._deepen_queue(remote_frac)
+
+    # -- signal readers ------------------------------------------------------------
+    def slot_pressure(self) -> float:
+        """Queued+running subtasks per member slot (>1 means waves queue)."""
+        cluster = self.cluster
+        members = [cluster.workers[n] for n in cluster.member_names()
+                   if cluster.worker_is_schedulable(n)]
+        if not members:
+            return 0.0
+        active = sum(w.taskmanager.active_subtasks for w in members)
+        capacity = len(members) * cluster.config.slots
+        return active / capacity if capacity else 0.0
+
+    def _remote_read_fraction(self) -> Optional[float]:
+        """Remote share of HDFS block reads since the previous tick."""
+        registry = self.cluster.obs.registry
+        deltas = {}
+        for locality in ("local", "remote"):
+            level = registry.value("hdfs.reads", locality=locality) or 0.0
+            deltas[locality] = level - self._reads_seen[locality]
+            self._reads_seen[locality] = level
+        total = deltas["local"] + deltas["remote"]
+        if total <= 0:
+            return None
+        return deltas["remote"] / total
+
+    # -- actuations ------------------------------------------------------------
+    def _maybe_add_worker(self, pressure: float) -> None:
+        cluster = self.cluster
+        if len(cluster.member_names()) >= self.policy.max_workers:
+            return
+        if self.env.now - self._last_scale_at < self.policy.cooldown_s:
+            return
+        self._last_scale_at = self.env.now
+        name = cluster.add_worker()
+        self._decide("sched_bound", "add_worker", worker=name,
+                     slot_pressure=round(pressure, 3))
+
+    def _deepen_queue(self, remote_frac: float) -> None:
+        tuning = self.cluster.tuning
+        if tuning.pipeline_queue_blocks >= self.policy.max_queue_blocks:
+            return
+        tuning.pipeline_queue_blocks = min(self.policy.max_queue_blocks,
+                                           tuning.pipeline_queue_blocks * 2)
+        self._decide("hdfs_bound", "deepen_queue",
+                     queue_blocks=tuning.pipeline_queue_blocks,
+                     remote_read_fraction=round(remote_frac, 3))
+
+    def _apply_pcie(self, operators: List[str]) -> None:
+        tuning = self.cluster.tuning
+        changed = False
+        if not tuning.prefer_local_placement:
+            tuning.prefer_local_placement = True
+            changed = True
+        wider = min(self.policy.max_block_nbytes,
+                    tuning.pipeline_block_nbytes * 2)
+        if wider > tuning.pipeline_block_nbytes:
+            tuning.pipeline_block_nbytes = wider
+            changed = True
+        if changed:
+            self._decide("pcie_bound", "prefer_cache",
+                         operators=operators,
+                         block_nbytes=int(tuning.pipeline_block_nbytes))
+
+    # -- bookkeeping ------------------------------------------------------------
+    def _decide(self, signal: str, action: str, **detail: Any) -> None:
+        decision = ScaleDecision(time=self.env.now, signal=signal,
+                                 action=action, detail=detail)
+        self.decisions.append(decision)
+        obs = self.cluster.obs
+        obs.registry.counter("autoscale.decisions", action=action).inc()
+        obs.monitor.count("autoscale.decisions", action=action)
+        tracer = obs.tracer
+        if tracer.enabled:
+            tracer.instant(
+                f"autoscale.{action}", "alert",
+                tracer.track(self.cluster.master_name, "autoscaler"),
+                signal=signal, **detail)

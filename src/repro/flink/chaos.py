@@ -40,9 +40,9 @@ from repro.flink.fault import FailureInjector
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.flink.runtime import Cluster
 
-__all__ = ["FaultKind", "ChaosEvent", "ChaosSchedule", "ChaosEngine",
-           "backoff_delay", "values_equal", "GPU_FAULT_KINDS",
-           "PCIE_FAULT_KINDS"]
+__all__ = ["FaultKind", "ChaosEvent", "ChaosSchedule", "ChurnSchedule",
+           "ChaosEngine", "backoff_delay", "values_equal",
+           "GPU_FAULT_KINDS", "PCIE_FAULT_KINDS", "MEMBERSHIP_KINDS"]
 
 
 def values_equal(a: Any, b: Any) -> bool:
@@ -75,12 +75,19 @@ class FaultKind(Enum):
     GPU_HANG = "gpu-hang"          # kernel hang: charged a watchdog timeout
     PCIE_CORRUPT = "pcie-corrupt"  # corrupted transfer: work must be redone
     PCIE_TIMEOUT = "pcie-timeout"  # stalled transfer: charged a timeout
+    # Membership churn (not failures — elastic capacity changes):
+    WORKER_JOIN = "worker-join"    # a new worker registers mid-job
+    WORKER_DRAIN = "worker-drain"  # graceful leave: quiesce, migrate, retire
+    WORKER_LEAVE = "worker-leave"  # abrupt leave: deregister + node death
 
 
 #: GPU-device fault kinds (target a device; ECC is permanent).
 GPU_FAULT_KINDS = (FaultKind.GPU_ECC, FaultKind.GPU_OOM, FaultKind.GPU_HANG)
 #: PCIe transfer fault kinds (transient; the retried work goes through).
 PCIE_FAULT_KINDS = (FaultKind.PCIE_CORRUPT, FaultKind.PCIE_TIMEOUT)
+#: Elastic-membership event kinds (capacity changes, not faults).
+MEMBERSHIP_KINDS = (FaultKind.WORKER_JOIN, FaultKind.WORKER_DRAIN,
+                    FaultKind.WORKER_LEAVE)
 
 
 @dataclass(frozen=True)
@@ -95,7 +102,8 @@ class ChaosEvent:
     def __post_init__(self) -> None:
         if self.at < 0:
             raise ValueError(f"fault time must be >= 0, got {self.at}")
-        needs_device = self.kind is not FaultKind.WORKER_KILL
+        needs_device = (self.kind in GPU_FAULT_KINDS
+                        or self.kind in PCIE_FAULT_KINDS)
         if needs_device and self.device is None:
             object.__setattr__(self, "device", 0)
 
@@ -158,6 +166,30 @@ class ChaosSchedule:
         the per-attempt FailureInjector plan)."""
         self.task_failures[(op_name, subtask)] = attempts
         return self
+
+    # -- membership builders -----------------------------------------------------
+    def join_worker(self, at: float,
+                    name: Optional[str] = None) -> "ChaosSchedule":
+        """A new worker joins at ``at``.  Auto-named ``elastic{k}`` (the
+        cluster's own naming scheme) so later drain/leave events can target
+        it by name."""
+        if name is None:
+            joins = sum(1 for e in self._events
+                        if e.kind is FaultKind.WORKER_JOIN)
+            name = f"elastic{joins}"
+        return self.add(ChaosEvent(at=at, kind=FaultKind.WORKER_JOIN,
+                                   worker=name))
+
+    def drain_worker(self, worker: str, at: float) -> "ChaosSchedule":
+        """Gracefully drain ``worker`` (quiesce, migrate state, retire)."""
+        return self.add(ChaosEvent(at=at, kind=FaultKind.WORKER_DRAIN,
+                                   worker=worker))
+
+    def leave_worker(self, worker: str, at: float) -> "ChaosSchedule":
+        """Abruptly deregister ``worker`` (leave = deregister + node death:
+        displaced subtasks retry, lost partitions recompute by lineage)."""
+        return self.add(ChaosEvent(at=at, kind=FaultKind.WORKER_LEAVE,
+                                   worker=worker))
 
     # -- views -------------------------------------------------------------------
     @property
@@ -232,6 +264,62 @@ class ChaosSchedule:
         return schedule
 
 
+class ChurnSchedule(ChaosSchedule):
+    """A :class:`ChaosSchedule` of *membership* events (joins/drains/leaves).
+
+    Same machinery, different vocabulary: churn events are applied by the
+    same :class:`ChaosEngine` injector, and a churn schedule can be mixed
+    freely with fault events (a worker that joined at 10s can be killed at
+    40s).  :meth:`random` draws a seeded Poisson join/leave timeline.
+    """
+
+    @classmethod
+    def random(cls, seed: int, duration_s: float, workers: List[str],
+               join_rate: float = 0.0, leave_rate: float = 0.0,
+               drain_fraction: float = 0.5, min_workers: int = 1,
+               start_s: float = 0.0) -> "ChurnSchedule":
+        """Draw Poisson join/leave arrivals over ``[start_s, start_s+duration_s]``.
+
+        Rates are events per second (conditional-uniformity construction,
+        like :meth:`ChaosSchedule.random`).  Joins are named ``elastic{k}``
+        in arrival order — the cluster's own auto-naming — so a later leave
+        can hit a worker that joined earlier in the same run.  Each leave
+        picks a uniform victim from the *current* pool (initial workers
+        plus joiners minus departures) and is a graceful drain with
+        probability ``drain_fraction``, an abrupt leave otherwise.  Leaves
+        that would shrink the pool below ``min_workers`` are dropped.
+        """
+        schedule = cls()
+
+        def arrivals(rng, rate: float) -> List[float]:
+            n = int(rng.poisson(rate * duration_s))
+            return sorted(start_s + float(u)
+                          for u in rng.uniform(0.0, duration_s, size=n))
+
+        join_rng = generator(seed, "churn", "join")
+        leave_rng = generator(seed, "churn", "leave")
+        timeline = [(t, "join") for t in arrivals(join_rng, join_rate)] + \
+                   [(t, "leave") for t in arrivals(leave_rng, leave_rate)]
+        timeline.sort()
+        pool = list(workers)
+        next_id = 0
+        for t, what in timeline:
+            if what == "join":
+                name = f"elastic{next_id}"
+                next_id += 1
+                schedule.join_worker(at=t, name=name)
+                pool.append(name)
+            else:
+                if len(pool) <= min_workers:
+                    continue
+                victim = pool.pop(int(leave_rng.integers(len(pool))))
+                if float(leave_rng.random()) < drain_fraction:
+                    schedule.drain_worker(victim, at=t)
+                else:
+                    schedule.leave_worker(victim, at=t)
+        return schedule
+
+
 def backoff_delay(flink: FlinkConfig, attempt: int, *identity: Any) -> float:
     """Back-off before retry ``attempt`` (1-based) of one subtask.
 
@@ -273,8 +361,13 @@ class ChaosEngine:
         self.schedule = schedule
         self.env = cluster.env
         self.applied: List[ChaosEvent] = []
+        #: Events that could not be applied (e.g. drain/leave of a worker
+        #: that never joined or already left), with the reason.
+        self.skipped: List[Tuple[ChaosEvent, str]] = []
         #: worker -> declaration time (detection latency = this - killed_at).
         self.declared: Dict[str, float] = {}
+        #: In-flight graceful-drain processes (spawned by WORKER_DRAIN).
+        self.drains: List[Any] = []
         self.process = self.env.process(self._run(), name="chaos-injector")
         self._monitor = self.env.process(self._heartbeat_monitor(),
                                          name="heartbeat-monitor")
@@ -290,12 +383,32 @@ class ChaosEngine:
         obs = self.cluster.obs
         tracer = obs.tracer
         track = tracer.track("chaos", "injector")
+        if event.kind in MEMBERSHIP_KINDS:
+            reason = self._check_membership(event)
+            if reason is not None:
+                self.skipped.append((event, reason))
+                tracer.instant(f"chaos.skip.{event.kind.value}", "chaos",
+                               track, worker=event.worker, reason=reason)
+                obs.registry.counter("chaos.skipped",
+                                     kind=event.kind.value).inc()
+                return
         tracer.instant(f"chaos.{event.kind.value}", "chaos", track,
                        worker=event.worker,
                        **({} if event.device is None
                           else {"device": event.device}))
         obs.registry.counter("chaos.events", kind=event.kind.value).inc()
         self.applied.append(event)
+        if event.kind is FaultKind.WORKER_JOIN:
+            self.cluster.add_worker(event.worker)
+            return
+        if event.kind is FaultKind.WORKER_DRAIN:
+            self.drains.append(self.env.process(
+                self.cluster.drain_worker(event.worker),
+                name=f"drain-{event.worker}"))
+            return
+        if event.kind is FaultKind.WORKER_LEAVE:
+            self.cluster.remove_worker(event.worker)
+            return
         if event.kind is FaultKind.WORKER_KILL:
             self.cluster.fail_worker(event.worker)
             return
@@ -303,6 +416,22 @@ class ChaosEngine:
         gpumanager = getattr(worker, "gpumanager", None)
         if gpumanager is not None:
             gpumanager.inject_device_fault(event.device or 0, event.kind)
+
+    def _check_membership(self, event: ChaosEvent) -> Optional[str]:
+        """Why ``event`` cannot be applied right now, or None if it can."""
+        cluster = self.cluster
+        if event.kind is FaultKind.WORKER_JOIN:
+            if event.worker in cluster.workers:
+                return "name-already-used"
+            return None
+        worker = cluster.workers.get(event.worker)
+        if worker is None or not cluster.is_member(event.worker):
+            return "not-a-member"
+        if not worker.alive:
+            return "already-dead"
+        if worker.draining:
+            return "already-draining"
+        return None
 
     # -- the heartbeat monitor ------------------------------------------------------
     def ensure_monitor(self) -> None:
@@ -324,7 +453,10 @@ class ChaosEngine:
             monitor.tick()
             for name in self._undetected():
                 worker = self.cluster.workers[name]
-                failed_at = worker.failed_at or now
+                # ``or now`` would misread a kill at exactly t=0.0 (falsy)
+                # as "no timestamp" and never declare it.
+                failed_at = worker.failed_at \
+                    if worker.failed_at is not None else now
                 # Every tick a dead worker stays undeclared is one missed
                 # heartbeat — the worker_unhealthy alert's feed.
                 monitor.heartbeat_missed(name)
@@ -340,12 +472,55 @@ class ChaosEngine:
                 and not self.cluster.worker_is_declared_dead(name)]
 
     # -- reporting ------------------------------------------------------------------
+    def recovery_latencies(self) -> List[Dict[str, Any]]:
+        """Per-event recovery latency (time to steady state), derived by
+        windowing the cluster's recovery-action log.
+
+        Each applied event owns the window from its injection time to the
+        next event's (the last window is open-ended).  Its recovery latency
+        is the time from injection to the *last* recovery action inside the
+        window — declarations, retry re-placements, lineage recomputes,
+        migrations, drain completions.  An event whose window contains no
+        actions (e.g. a join with nothing to rebalance) recovered in 0.
+        """
+        events = sorted(self.applied, key=_event_order)
+        log = sorted(self.cluster.recovery_log)
+        out = []
+        for i, event in enumerate(events):
+            end = events[i + 1].at if i + 1 < len(events) else float("inf")
+            window = [(t, kind) for t, kind in log if event.at <= t < end]
+            latency = max((t for t, _ in window), default=event.at) - event.at
+            out.append({
+                "at": event.at,
+                "kind": event.kind.value,
+                "worker": event.worker,
+                "recovery_latency_s": latency,
+                "actions": [kind for _, kind in window],
+            })
+        return out
+
     def summary(self) -> Dict[str, Any]:
-        """Applied faults + detection latencies, for resilience reports."""
+        """Applied faults + detection/recovery latencies, for resilience
+        reports."""
+        from repro.obs.metrics import Histogram
         kills = {e.worker: e.at for e in self.applied
                  if e.kind is FaultKind.WORKER_KILL}
+        per_event = self.recovery_latencies()
+        hist = Histogram("chaos.recovery_s", ())
+        for entry in per_event:
+            hist.observe(entry["recovery_latency_s"])
+        recovery: Dict[str, Any] = {}
+        if per_event:
+            recovery = {
+                "count": float(hist.count),
+                "max": hist.vmax,
+                "p50": hist.percentile(0.50),
+                "p95": hist.percentile(0.95),
+                "p99": hist.percentile(0.99),
+            }
         return {
             "events_applied": len(self.applied),
+            "events_skipped": len(self.skipped),
             "by_kind": {
                 kind.value: sum(1 for e in self.applied if e.kind is kind)
                 for kind in FaultKind
@@ -356,4 +531,6 @@ class ChaosEngine:
                 name: self.declared[name] - kills[name]
                 for name in sorted(self.declared) if name in kills
             },
+            "recovery_latency_s": recovery,
+            "per_event": per_event,
         }

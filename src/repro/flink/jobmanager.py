@@ -217,8 +217,11 @@ class TaskContext:
         unchanged — only the charge model differs.
         """
         flink = self.config.flink
+        # Block width through the *tuning* overlay, not the frozen config:
+        # the autoscaler widens it online; results are unchanged (the
+        # charge model only shifts dispatch overhead).
         n_blocks = max(1, math.ceil(nominal_nbytes
-                                    / flink.pipeline_block_nbytes))
+                                    / self.cluster.tuning.pipeline_block_nbytes))
         seconds = (n_blocks * flink.block_overhead_s
                    + nominal_elements * flops_per_element
                    / self.config.cpu.simd_flops_per_core)
@@ -302,9 +305,13 @@ class JobManager:
                 sinks = apply_chaining(sinks, cpu=flink.enable_chaining,
                                        gpu=flink.enable_gpu_chaining)
             graph = ExecutionGraph(sinks, self.cluster.default_parallelism)
-            scheduler = Scheduler(self.config.worker_names(), tracer=tracer,
-                                  health=self.cluster.worker_is_alive,
-                                  monitor=obs.monitor)
+            # Live membership, not the static config list: workers that
+            # join mid-job become placement candidates immediately, drained
+            # and departed ones stop being considered.
+            scheduler = Scheduler(self.cluster.member_names, tracer=tracer,
+                                  health=self.cluster.worker_is_schedulable,
+                                  monitor=obs.monitor,
+                                  tuning=self.cluster.tuning)
 
             if flink.executor == "pipelined":
                 from repro.flink.pipeline import PipelinedExecutor
@@ -455,6 +462,7 @@ class JobManager:
             self.cluster.obs.registry.counter(
                 "recovery.recomputed_partitions", op=op.name).inc(
                     len(outputs))
+            self.cluster.note_recovery_action("recompute")
         else:
             self.cluster.materialized[op.uid] = outputs
         for part in outputs:
@@ -575,6 +583,8 @@ class JobManager:
                 if failure is None:
                     worker.taskmanager.tasks_executed += 1
                     obs.monitor.task_attempt(op.name, ok=True)
+                    if vertex.attempts:
+                        self.cluster.note_recovery_action("retry-ok")
                     return partition
             except InterruptError as exc:
                 # The worker died under us (slot wait included): the attempt
@@ -601,12 +611,23 @@ class JobManager:
                     f"{op.name}[{vertex.subtask_index}] failed "
                     f"after {vertex.attempts} attempts"
                 ) from failure
+            scheduler.note_fault(worker.name)
             if worker_lost:
                 # Wait for the master to *declare* the death (heartbeat
-                # timeout), then re-place away from the dead node.
+                # timeout), then re-place away from the dead node.  If the
+                # avoid set covers every healthy worker (correlated
+                # failures), wait a back-off first — the fallback then
+                # deterministically picks the least-recently-faulted node.
                 yield self.cluster.worker_declared(worker.name)
-                scheduler.reschedule(vertex, avoid=(worker.name,),
+                avoid = (worker.name,)
+                if scheduler.all_avoided(avoid):
+                    delay = backoff_delay(flink, vertex.attempts, op.name,
+                                          vertex.subtask_index)
+                    if delay > 0:
+                        yield self.env.timeout(delay)
+                scheduler.reschedule(vertex, avoid=avoid,
                                      reason="worker-lost")
+                self.cluster.note_recovery_action("replace")
                 tracer.instant(
                     "task.displaced", "fault", task_track, op=op.name,
                     subtask=vertex.subtask_index, worker=vertex.worker)

@@ -450,10 +450,10 @@ class PipelinedExecutor:
                 # the pipeline nothing to overlap on small inputs).
                 plan = _split_chunks(
                     [b.nbytes for b in vertex.assigned_blocks],
-                    self.config.flink.pipeline_block_nbytes)
+                    self.cluster.tuning.pipeline_block_nbytes)
                 stream = BlockStream(
                     self.env, plan,
-                    self.config.flink.pipeline_queue_blocks,
+                    self.cluster.tuning.pipeline_queue_blocks,
                     self._n_subs.get(op.uid, 0))
                 self._streams[op.uid][i] = stream
             self._shells[op.uid][i].succeed(shell)
@@ -588,7 +588,7 @@ class PipelinedExecutor:
                      if in_stream.total_nbytes > 0 else 0.0)
             out_stream = BlockStream(
                 self.env, [b * ratio for b in in_stream.block_nbytes],
-                self.config.flink.pipeline_queue_blocks,
+                self.cluster.tuning.pipeline_queue_blocks,
                 self._n_subs.get(uid, 0))
             self._streams[uid][i] = out_stream
             self._shells[uid][i].succeed(shell)

@@ -156,12 +156,18 @@ def profile_report(cluster) -> str:
 #: Counters surfaced by :func:`resilience_report` (name, display label).
 _RESILIENCE_COUNTERS = (
     ("chaos.events", "chaos events applied"),
+    ("chaos.skipped", "chaos events skipped"),
     ("worker.failures", "worker failures"),
     ("worker.declared_dead", "deaths declared"),
     ("device.blacklisted", "devices blacklisted"),
     ("task.retries", "task retries"),
     ("recovery.recomputed_partitions", "partitions recomputed"),
     ("fallback.cpu_tasks", "CPU-fallback tasks"),
+    ("churn.joins", "workers joined"),
+    ("churn.drains", "workers drained"),
+    ("churn.leaves", "workers left"),
+    ("rebalance.partitions", "partitions migrated"),
+    ("autoscale.decisions", "autoscaler decisions"),
 )
 
 
@@ -184,6 +190,13 @@ def resilience_report(engine, result, baseline=None, registry=None) -> str:
     for name in sorted(summary["detection_latency_s"]):
         lines.append(f"  detection latency     {name}: "
                      f"{summary['detection_latency_s'][name]:.2f} s")
+    recovery = summary.get("recovery_latency_s") or {}
+    if recovery.get("count"):
+        lines.append(
+            f"  recovery latency      p50 {recovery['p50']:.2f} s   "
+            f"p95 {recovery['p95']:.2f} s   p99 {recovery['p99']:.2f} s   "
+            f"max {recovery['max']:.2f} s "
+            f"({recovery['count']:.0f} events)")
     retries = sum(m.retries for m in result.job_metrics)
     recovered = sum(m.recovered_partitions for m in result.job_metrics)
     fallback = sum(m.fallback_tasks for m in result.job_metrics)

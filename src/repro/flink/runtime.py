@@ -14,7 +14,7 @@ from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.common.network import Network
 from repro.common.simclock import Environment
-from repro.flink.config import ClusterConfig
+from repro.flink.config import ClusterConfig, RuntimeTuning
 from repro.flink.dataset import DataSet
 from repro.flink.fault import FailureInjector
 from repro.flink.jobmanager import JobManager, JobMetrics
@@ -70,7 +70,7 @@ class Cluster:
                          replication=self.config.hdfs_replication,
                          disk=self.config.disk, obs=self.obs)
         self.workers: Dict[str, Worker] = {
-            name: Worker(self.env, name, self.config) for name in names
+            name: self._make_worker(name) for name in names
         }
         self.serializer = Serializer(
             self.config.flink.serde_bps,
@@ -83,15 +83,163 @@ class Cluster:
         self.chaos = None
         self._declared_dead: Dict[str, float] = {}
         self._declare_waiters: Dict[str, Any] = {}
+        # Elastic membership: the *live* member list (initial workers plus
+        # joiners, minus drained/removed ones) in join order.  Logical
+        # partitioning stays pinned to the initial shape (see
+        # default_parallelism) so results are bit-identical under churn —
+        # membership changes placement and timing only.
+        self._members: List[str] = list(names)
+        self._next_elastic_id = 0
+        # Online-tunable knobs (autoscaler); consumers read these instead of
+        # the frozen FlinkConfig fields they mirror.
+        self.tuning = RuntimeTuning.from_flink(flink)
+        # Recovery-action log: (time, kind) of every master-visible step
+        # back toward steady state (declarations, re-placements, lineage
+        # recomputes, migrations).  Appends only — never schedules events —
+        # so the clock is unaffected.  ChaosEngine.summary() windows this
+        # per fault to derive recovery latency / time-to-steady-state.
+        self.recovery_log: List[Tuple[float, str]] = []
 
     @property
     def default_parallelism(self) -> int:
-        """Default operator parallelism: one subtask per task slot."""
+        """Default operator parallelism: one subtask per *initial* slot.
+
+        Deliberately pinned to the configured shape, not live membership:
+        hash routing, partition indices and collect order all derive from
+        parallelism, so keeping it fixed is what makes results bit-identical
+        under churn — joiners add capacity (slots, disks, NICs), not
+        partitions.
+        """
         return self.config.total_slots
 
     @property
     def worker_list(self) -> List[Worker]:
         return list(self.workers.values())
+
+    def _make_worker(self, name: str) -> Worker:
+        """Build one worker node (GFlinkCluster also attaches a GPUManager)."""
+        return Worker(self.env, name, self.config)
+
+    # -- elastic membership -------------------------------------------------------
+    def member_names(self) -> List[str]:
+        """Current cluster members (initial + joined − departed), join order."""
+        return list(self._members)
+
+    def is_member(self, name: str) -> bool:
+        return name in self._members
+
+    def worker_is_schedulable(self, name: str) -> bool:
+        """May new subtasks be placed on ``name``?  (alive member, not
+        draining — the scheduler's health predicate)."""
+        worker = self.workers.get(name)
+        return (worker is not None and worker.alive
+                and not worker.draining and name in self._members)
+
+    def _churn_instant(self, name: str, worker: str, **args: Any) -> None:
+        tracer = self.obs.tracer
+        tracer.instant(name, "churn",
+                       tracer.track(self.master_name, "membership"),
+                       worker=worker, **args)
+
+    def add_worker(self, name: Optional[str] = None,
+                   rebalance: Optional[bool] = None) -> str:
+        """Register a new worker node mid-run; returns its name.
+
+        The joiner gets a TaskManager (with fresh slots), a co-located HDFS
+        datanode (eligible for new block placements), a network port, and is
+        enrolled with the monitor and the heartbeat plane.  It becomes
+        schedulable immediately; when ``rebalance`` (default
+        ``FlinkConfig.rebalance_on_join``) is on and cached partitions
+        exist, a background process migrates a fair share onto it over the
+        zero-copy wire (see :mod:`repro.flink.rebalance`).
+        """
+        if name is None:
+            name = f"elastic{self._next_elastic_id}"
+            self._next_elastic_id += 1
+        if name in self.workers:
+            raise ValueError(f"worker {name!r} already exists "
+                             "(departed names cannot rejoin)")
+        self.network.add_node(name)
+        self.hdfs.add_datanode(name)
+        self.workers[name] = self._make_worker(name)
+        self._members.append(name)
+        self.obs.monitor.register_worker(name)
+        self._churn_instant("churn.join", name)
+        self.obs.registry.counter("churn.joins", worker=name).inc()
+        self.obs.monitor.count("churn.events", event="join")
+        do_rebalance = (self.config.flink.rebalance_on_join
+                        if rebalance is None else rebalance)
+        if do_rebalance and any(self.materialized.values()):
+            from repro.flink.rebalance import Rebalancer
+            self.env.process(Rebalancer(self).rebalance_onto(name),
+                             name=f"rebalance-{name}")
+        return name
+
+    def drain_worker(self, name: str):
+        """Simulation process: gracefully remove ``name`` from the cluster.
+
+        Unlike :meth:`fail_worker` nothing is lost and nothing recomputes:
+        the worker stops accepting placements, in-flight subtasks run to
+        completion, resident cached partitions migrate to surviving members
+        over the zero-copy wire, the co-located datanode is decommissioned
+        (its replicas re-homed), and only then does the node leave.  The
+        departure is recorded as a *declaration* so any straggler waiting on
+        the node is released, but none of the failure counters fire.
+        """
+        from repro.flink.rebalance import Rebalancer
+        if name not in self._members:
+            raise ValueError(f"{name!r} is not a cluster member")
+        worker = self.workers[name]
+        if not worker.alive or worker.draining:
+            return
+        worker.draining = True
+        started = self.env.now
+        self._churn_instant("churn.drain.start", name)
+        self.obs.registry.counter("churn.drains", worker=name).inc()
+        self.obs.monitor.count("churn.events", event="drain")
+        yield worker.taskmanager.quiesced()
+        if not worker.alive:
+            return  # killed mid-drain: the failure path owns recovery
+        yield from Rebalancer(self).migrate_off(name)
+        yield from self.hdfs.decommission(name)
+        datanode = self.hdfs.datanodes.get(name)
+        if datanode is not None and datanode.alive:
+            datanode.fail()
+        if name in self._members:
+            self._members.remove(name)
+        worker.alive = False
+        worker.departed = True
+        # Graceful departures are declared instantly (no detection latency)
+        # and silently: nothing was lost, so the fault counters stay quiet.
+        if name not in self._declared_dead:
+            self._declared_dead[name] = self.env.now
+            waiter = self._declare_waiters.pop(name, None)
+            if waiter is not None and not waiter.triggered:
+                waiter.succeed(name)
+        self._churn_instant("churn.drain.done", name,
+                            seconds=self.env.now - started)
+        self.note_recovery_action("drain-complete")
+
+    def remove_worker(self, name: str) -> None:
+        """Abrupt leave: the node disappears mid-job, permanently.
+
+        Reuses the whole failure-domain machinery — subtasks are
+        interrupted, partitions lost (lineage recovery recomputes them),
+        the datanode dies (reads fail over to surviving replicas) — and
+        additionally strikes the node from the member list so it is never
+        placed onto again even after future jobs reset scheduler state.
+        """
+        if name not in self._members:
+            raise ValueError(f"{name!r} is not a cluster member")
+        self._members.remove(name)
+        self._churn_instant("churn.leave", name)
+        self.obs.registry.counter("churn.leaves", worker=name).inc()
+        self.obs.monitor.count("churn.events", event="leave")
+        self.fail_worker(name)
+
+    def note_recovery_action(self, kind: str) -> None:
+        """Log one recovery step (passive: never touches the clock)."""
+        self.recovery_log.append((self.env.now, kind))
 
     # -- failure domains (repro.flink.chaos) --------------------------------------
     def install_chaos(self, schedule) -> Any:
@@ -114,8 +262,8 @@ class Cluster:
         return worker.alive if worker is not None else True
 
     def healthy_worker_names(self) -> List[str]:
-        """Names of live workers, in stable configuration order."""
-        return [name for name in self.config.worker_names()
+        """Names of live member workers, in stable membership order."""
+        return [name for name in self._members
                 if self.workers[name].alive]
 
     def fail_worker(self, name: str) -> None:
@@ -162,6 +310,7 @@ class Cluster:
                        worker=name)
         self.obs.registry.counter("worker.declared_dead", worker=name).inc()
         self.obs.monitor.worker_declared_dead(name)
+        self.note_recovery_action("declare")
         waiter = self._declare_waiters.pop(name, None)
         if waiter is not None and not waiter.triggered:
             waiter.succeed(name)

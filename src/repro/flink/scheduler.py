@@ -35,19 +35,44 @@ from repro.hdfs.filesystem import HDFS
 class Scheduler:
     """Fills in worker assignments for an execution graph, operator by operator."""
 
-    def __init__(self, worker_names: List[str], tracer=None,
+    def __init__(self, worker_names, tracer=None,
                  health: Optional[Callable[[str], bool]] = None,
-                 monitor=None):
-        self.worker_names = list(worker_names)
-        self._load: Dict[str, int] = {w: 0 for w in worker_names}
+                 monitor=None, tuning=None):
+        # Either a static name list or a live-membership callable
+        # (Cluster.member_names): elastic joiners become placement
+        # candidates the moment they register, mid-job included.
+        if callable(worker_names):
+            self._names_fn: Callable[[], List[str]] = worker_names
+        else:
+            static = list(worker_names)
+            self._names_fn = lambda: static
+        self._load: Dict[str, int] = {w: 0 for w in self._names_fn()}
         # Optional repro.obs.trace.Tracer: placement decisions become
         # "place" instants on the master's scheduler lane.
         self.tracer = tracer
-        # Liveness predicate (Cluster.worker_is_alive); None = all healthy.
+        # Health predicate (Cluster.worker_is_schedulable); None = all
+        # healthy.  Dead *and draining* workers take no new placements.
         self._health = health
         # Optional repro.obs.monitor.GMonitor: per-worker queue depth and
         # placement counts become live series.
         self.monitor = monitor
+        # Optional repro.flink.config.RuntimeTuning: the autoscaler's
+        # prefer-cache bias reads through this.
+        self.tuning = tuning
+        # Fault recency per worker (monotone sequence numbers): the
+        # deterministic tie-breaker when every healthy worker is in a
+        # reschedule's avoid set.
+        self._last_fault: Dict[str, int] = {}
+        self._fault_seq = 0
+
+    @property
+    def worker_names(self) -> List[str]:
+        """Current placement candidates (live membership when elastic)."""
+        names = self._names_fn()
+        for w in names:
+            if w not in self._load:
+                self._load[w] = 0
+        return names
 
     def _feed_monitor(self, worker: str, reason: str) -> None:
         if self.monitor is None or not self.monitor.enabled:
@@ -65,6 +90,19 @@ class Scheduler:
         if not names:
             raise JobExecutionError("no healthy workers left in the cluster")
         return names
+
+    # -- fault recency (reschedule fallback) -----------------------------------
+    def note_fault(self, worker: str) -> None:
+        """Record that ``worker`` just failed an attempt (or died)."""
+        self._fault_seq += 1
+        self._last_fault[worker] = self._fault_seq
+
+    def all_avoided(self, avoid: Iterable[str]) -> bool:
+        """True when every healthy worker is in ``avoid`` — the caller
+        should wait a back-off before falling back (see ``reschedule``)."""
+        avoid = set(avoid)
+        names = [w for w in self.worker_names if self._is_healthy(w)]
+        return bool(names) and all(w in avoid for w in names)
 
     def _least_loaded(self) -> str:
         return min(self._healthy_names(), key=lambda w: (self._load[w], w))
@@ -110,8 +148,13 @@ class Scheduler:
                 # Prefer locality, but never at the cost of a second task
                 # wave: if every local replica host is busier than the
                 # least-loaded worker, spread instead (a remote HDFS read is
-                # cheaper than queueing behind a slot).
-                if self._load[best_local] <= self._load[worker]:
+                # cheaper than queueing behind a slot).  Under the
+                # autoscaler's prefer-cache bias (pcie_bound) locality wins
+                # unconditionally — keeping GPU work next to its cached
+                # input beats avoiding a slot queue.
+                prefer = (self.tuning is not None
+                          and self.tuning.prefer_local_placement)
+                if prefer or self._load[best_local] <= self._load[worker]:
                     worker = best_local
                     reason = "block-local"
             vertex.worker = self._assign(worker)
@@ -160,7 +203,7 @@ class Scheduler:
                 parts = input_partitions[forward_idx]
                 if vertex.subtask_index < len(parts):
                     home = parts[vertex.subtask_index].worker
-            if home is not None and home in self._load \
+            if home is not None and home in self.worker_names \
                     and self._is_healthy(home):
                 vertex.worker = self._assign(home)
                 reason = "colocate-input"
@@ -180,7 +223,7 @@ class Scheduler:
         least-loaded healthy worker.  This is the per-subtask counterpart of
         :meth:`schedule_consumer`, which places a whole wave at once.
         """
-        if colocate is not None and colocate in self._load \
+        if colocate is not None and colocate in self.worker_names \
                 and self._is_healthy(colocate):
             vertex.worker = self._assign(colocate)
             reason = "colocate-input"
@@ -198,18 +241,28 @@ class Scheduler:
         """Re-place a retried/displaced subtask onto a healthy worker.
 
         The previous assignment's load is released; the new attempt goes to
-        the least-loaded healthy worker outside ``avoid`` when any exists
-        (a single-node cluster retries in place).  Raises
-        :class:`~repro.common.errors.JobExecutionError` when no healthy
-        worker remains.
+        the least-loaded healthy worker outside ``avoid`` when any exists.
+        When *every* healthy worker is in ``avoid`` (single-node clusters,
+        correlated failures) the fallback is deterministic: the
+        least-recently-faulted healthy worker, ties broken by load then
+        name — not an arbitrary member of the avoid set.  Callers that can
+        afford it should check :meth:`all_avoided` first and wait a
+        back-off before re-placing (the JobManager retry loop does).
+        Raises :class:`~repro.common.errors.JobExecutionError` when no
+        healthy worker remains at all.
         """
         avoid = set(avoid)
         if vertex.worker is not None and vertex.worker in self._load:
             self._load[vertex.worker] -= 1
         healthy = self._healthy_names()
-        candidates = [w for w in healthy if w not in avoid] or healthy
-        vertex.worker = self._assign(
-            min(candidates, key=lambda w: (self._load[w], w)))
+        candidates = [w for w in healthy if w not in avoid]
+        if candidates:
+            pick = min(candidates, key=lambda w: (self._load[w], w))
+        else:
+            pick = min(healthy, key=lambda w: (self._last_fault.get(w, 0),
+                                               self._load[w], w))
+            reason = f"{reason}-fallback"
+        vertex.worker = self._assign(pick)
         self._trace_place(vertex.op.name, vertex.subtask_index,
                           vertex.worker, reason)
         return vertex.worker

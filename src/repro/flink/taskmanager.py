@@ -5,7 +5,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.common.resources import Resource
-from repro.common.simclock import Environment, Process
+from repro.common.simclock import Environment, Event, Process
 from repro.flink.config import ClusterConfig
 from repro.flink.memory import MemoryManager
 from repro.flink.partition import Partition
@@ -57,6 +57,8 @@ class TaskManager:
         # JobManager's retry loop catches the InterruptError and re-places
         # the attempt after failure detection.
         self._running: List[Process] = []
+        # Events fired when the last tracked subtask leaves (graceful drain).
+        self._quiesce_waiters: List[Event] = []
 
     # -- slots ----------------------------------------------------------------
     def claim_slot(self, shared: bool = False):
@@ -79,6 +81,30 @@ class TaskManager:
             self._running.remove(process)
         except ValueError:
             pass
+        if not self._running:
+            waiters, self._quiesce_waiters = self._quiesce_waiters, []
+            for evt in waiters:
+                if not evt.triggered:
+                    evt.succeed()
+
+    @property
+    def active_subtasks(self) -> int:
+        """Subtasks queued for a slot or running here (autoscaler signal)."""
+        return len(self._running)
+
+    def quiesced(self) -> Event:
+        """An event firing once no subtask is queued or running here.
+
+        A draining worker is excluded from new placements first, then waits
+        on this before its state is migrated away — in-flight attempts
+        finish normally instead of being interrupted like on a kill.
+        """
+        evt = Event(self.env)
+        if not self._running:
+            evt.succeed()
+        else:
+            self._quiesce_waiters.append(evt)
+        return evt
 
     def fail(self, cause: str = "worker failed") -> None:
         """Kill this TaskManager: interrupt its subtasks, drop its state.
@@ -94,6 +120,10 @@ class TaskManager:
         for process in victims:
             if process.is_alive:
                 process.interrupt(cause)
+        waiters, self._quiesce_waiters = self._quiesce_waiters, []
+        for evt in waiters:
+            if not evt.triggered:
+                evt.succeed()
 
     # -- partition store ------------------------------------------------------
     def put_partition(self, dataset_uid: int, partition: Partition) -> None:
@@ -104,6 +134,14 @@ class TaskManager:
                       index: int) -> Optional[Partition]:
         """Look up a resident partition, or None."""
         return self._store.get(dataset_uid, {}).get(index)
+
+    def remove_partition(self, dataset_uid: int, index: int) -> None:
+        """Forget one resident partition (it migrated to another worker)."""
+        parts = self._store.get(dataset_uid)
+        if parts is not None:
+            parts.pop(index, None)
+            if not parts:
+                self._store.pop(dataset_uid, None)
 
     def drop_dataset(self, dataset_uid: int) -> None:
         """Evict all partitions of a dataset from this worker."""
@@ -128,6 +166,12 @@ class Worker:
         # slots and partitions, and is never scheduled onto again.
         self.alive = True
         self.failed_at: Optional[float] = None
+        # Elastic-membership state (repro.flink.runtime.Cluster): a
+        # draining worker finishes in-flight subtasks but accepts no new
+        # placements; a departed one left gracefully — dead for scheduling,
+        # but not a *failure* (its state was migrated, not lost).
+        self.draining = False
+        self.departed = False
 
     def fail(self, cause: str = "worker killed") -> None:
         """Kill this node (idempotent).  Use Cluster.fail_worker normally —

@@ -28,11 +28,22 @@ class HDFS:
         self.env = env
         self.network = network
         self.namenode = NameNode(list(node_names), replication=replication)
+        self.disk = disk  # shared spec; elastic datanodes reuse it
         self.datanodes = {name: DataNode(env, name, disk=disk)
                           for name in node_names}
         # Optional repro.obs.Observability: block reads/writes become spans
         # on the acting node's "hdfs" lane plus registry byte counters.
         self.obs = obs
+
+    # -- elastic membership -------------------------------------------------------
+    def add_datanode(self, name: str) -> DataNode:
+        """Bring up a datanode on a newly joined worker (metadata-speed)."""
+        if name in self.datanodes:
+            raise ConfigError(f"datanode {name!r} already exists")
+        self.namenode.add_datanode(name)
+        node = DataNode(self.env, name, disk=self.disk)
+        self.datanodes[name] = node
+        return node
 
     def _span(self, name: str, node: str, **args):
         """A trace span on ``node``'s hdfs lane (no-op without tracing)."""
@@ -196,6 +207,52 @@ class HDFS:
                 block.replicas.append(target)
                 repaired += 1
         return repaired
+
+    def decommission(self, node: str) -> Generator[Event, None, int]:
+        """Simulation process: gracefully retire ``node``'s datanode.
+
+        The mirror image of :meth:`repair`: the node is removed from new-
+        block placement first, then every replica it holds is *copied off*
+        — read from the (still live) retiring node, shipped to a live node
+        not already holding the block, written there — before the node
+        goes away.  Unlike a failure nothing is ever under-replicated.
+        Blocks with no eligible target simply shrink by one replica (their
+        surviving copies still serve reads).  Returns blocks moved.
+        """
+        self.namenode.remove_datanode(node)
+        moved = 0
+        retiring = self.datanodes.get(node)
+        for path in self.namenode.list_files():
+            for block in self.namenode.get_file(path).blocks:
+                if node not in block.replicas:
+                    continue
+                live_others = [n for n in block.replicas
+                               if n != node and self.datanodes[n].alive]
+                candidates = [n for n in self.datanodes
+                              if n != node and self.datanodes[n].alive
+                              and n not in block.replicas]
+                if not candidates:
+                    if live_others:
+                        block.replicas.remove(node)
+                    continue
+                target = candidates[0]
+                if retiring is not None and retiring.alive:
+                    source = node
+                elif live_others:
+                    source = live_others[0]
+                else:
+                    continue  # lost mid-drain with no surviving copy
+                with self._span("hdfs.decommission", target,
+                                nbytes=block.nbytes, block=block.index):
+                    yield from self.datanodes[source].read_block(
+                        block.block_id)
+                    yield from self.network.transfer(source, target,
+                                                     block.nbytes)
+                    yield from self.datanodes[target].write_block(block)
+                block.replicas.remove(node)
+                block.replicas.append(target)
+                moved += 1
+        return moved
 
     # -- observability ----------------------------------------------------------
     def total_bytes_read(self) -> int:

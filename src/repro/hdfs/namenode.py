@@ -40,10 +40,38 @@ class NameNode:
         if replication < 1:
             raise ConfigError(f"replication must be >= 1, got {replication}")
         self.datanode_names = list(datanode_names)
+        #: What the deployment asked for; the effective ``replication`` is
+        #: re-clamped to the live datanode count as nodes join and leave.
+        self.requested_replication = replication
         self.replication = min(replication, len(datanode_names))
         self._files: Dict[str, FileStatus] = {}
         self._next_block_id = 0
         self._rr = 0  # round-robin cursor for placement
+
+    # -- elastic membership -----------------------------------------------------
+    def add_datanode(self, name: str) -> None:
+        """Make ``name`` a placement candidate for new blocks.
+
+        Existing blocks are untouched; the effective replication factor may
+        grow back toward the requested one.
+        """
+        if name in self.datanode_names:
+            raise ConfigError(f"datanode {name!r} already registered")
+        self.datanode_names.append(name)
+        self.replication = min(self.requested_replication,
+                               len(self.datanode_names))
+
+    def remove_datanode(self, name: str) -> None:
+        """Stop placing new blocks on ``name`` (decommission step one).
+
+        Existing replica lists are the filesystem's job to re-home (see
+        :meth:`repro.hdfs.filesystem.HDFS.decommission`).
+        """
+        if name in self.datanode_names:
+            self.datanode_names.remove(name)
+        if self.datanode_names:
+            self.replication = min(self.requested_replication,
+                                   len(self.datanode_names))
 
     # -- namespace ----------------------------------------------------------------
     def exists(self, path: str) -> bool:

@@ -153,5 +153,16 @@ class SpMVWorkload(Workload):
 
 
 def _total_gpus(session) -> int:
+    """GPU-count parallelism for one-partition-per-device datasets.
+
+    Uses the cluster's pinned ``default_gpu_parallelism`` (configured
+    shape) when available so elastic joiners never change partition counts
+    mid-run — partials per partition decide bits, so this is what keeps
+    GPU workloads churn-identical.  Falls back to counting live devices
+    for bare clusters without the pinned property.
+    """
+    pinned = getattr(session.cluster, "default_gpu_parallelism", None)
+    if pinned is not None:
+        return int(pinned)
     managers = session.cluster.gpu_managers()
     return max(sum(len(gm.devices) for gm in managers), 1)
