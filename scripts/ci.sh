@@ -49,11 +49,19 @@ if [[ "${1:-}" != "--fast" ]]; then
     # substantial slowdowns.  Refresh the baseline deliberately with:
     #   python -m repro profile traces/ci_wordcount.json --quiet \
     #       --json traces/ci_wordcount_profile_baseline.json
+    # --explain attributes any makespan drift to a ranked cause list so a
+    # tripped gate names its culprit in the CI log.
     python -m repro profile traces/ci_wordcount.json \
         --json traces/ci_profile_summary.json \
         --baseline traces/ci_wordcount_profile_baseline.json \
         --threshold makespan_s=0.25 --threshold critical_path=0.60 \
-        --threshold operator_wall=0.60 --threshold overlap_pct=0.50
+        --threshold operator_wall=0.60 --threshold overlap_pct=0.50 \
+        --explain
+
+    echo "== explain self-diff smoke: a summary vs itself has no causes =="
+    explain_out=$(python -m repro profile traces/ci_wordcount.json --quiet \
+        --baseline traces/ci_wordcount.json --explain)
+    echo "$explain_out" | grep -q 'no causes above the noise floor'
 
     echo "== traced bench smoke: wordcount (vectorized columnar) + profile gate =="
     # Block-vectorized operators + zero-copy columnar shuffle: same counts,
@@ -69,7 +77,8 @@ if [[ "${1:-}" != "--fast" ]]; then
         --json traces/ci_vectorized_profile_summary.json \
         --baseline traces/ci_wordcount_vectorized_profile_baseline.json \
         --threshold makespan_s=0.25 --threshold critical_path=0.60 \
-        --threshold operator_wall=0.60 --threshold overlap_pct=0.50
+        --threshold operator_wall=0.60 --threshold overlap_pct=0.50 \
+        --explain
 
     echo "== chaos smoke: wordcount survives worker kill + GPU fault =="
     # Exits non-zero unless the faulted run's result is identical to the
@@ -84,14 +93,22 @@ if [[ "${1:-}" != "--fast" ]]; then
     # command exits non-zero unless worker_unhealthy fired AND resolved
     # (and on any unresolved critical alert); availability=0.5 is a
     # deliberately forgiving gate so retry burn is reported, not fatal.
+    rm -rf traces/ci_postmortems
     python -m repro monitor wordcount --mode gpu --workers 4 --real 4000 \
         --kill worker1@150 --gpu-fail worker0:0@10 --backoff 0.05 \
         --expect-alert worker_unhealthy --slo availability=0.5 \
+        --postmortem-dir traces/ci_postmortems \
         --summary-out traces/ci_monitor_summary.json \
         --dashboard-out traces/ci_monitor_dashboard.html
     python -m repro.obs.validate traces/ci_monitor_summary.json
     test -s traces/ci_monitor_dashboard.html
     grep -q '<svg' traces/ci_monitor_dashboard.html
+
+    echo "== flight recorder smoke: bundles validate and render =="
+    # The fault injections and alert firings above must each have dumped
+    # a post-mortem bundle; every bundle is schema-checked, then rendered.
+    python -m repro.obs.validate traces/ci_postmortems/postmortem-*.json
+    python -m repro postmortem traces/ci_postmortems > /dev/null
 
     echo "== churn smoke: wordcount with a mid-job join + drain, bit-identical =="
     # Elastic membership must change placement/timing only, never the
@@ -112,15 +129,17 @@ if [[ "${1:-}" != "--fast" ]]; then
         --json traces/ci_churn_profile_summary.json \
         --baseline traces/ci_churn_wordcount_profile_baseline.json \
         --threshold makespan_s=0.25 --threshold critical_path=0.60 \
-        --threshold operator_wall=0.60 --threshold overlap_pct=0.50
+        --threshold operator_wall=0.60 --threshold overlap_pct=0.50 \
+        --explain
 
-    echo "== bench smoke: GPU chaining ablation + cache policies + zero-copy shuffle + elasticity =="
+    echo "== bench smoke: GPU chaining ablation + cache policies + zero-copy shuffle + elasticity + explainer =="
     python -m pytest -q \
         benchmarks/bench_ablation_gpu_chaining.py \
         benchmarks/bench_fig8_cache.py \
         benchmarks/bench_shuffle.py \
-        benchmarks/bench_elastic.py
-    echo "consolidated results written to BENCH_PR1.json, BENCH_PR8.json and BENCH_PR9.json"
+        benchmarks/bench_elastic.py \
+        benchmarks/bench_explain.py
+    echo "consolidated results written to BENCH_PR1.json, BENCH_PR8.json, BENCH_PR9.json and BENCH_PR10.json"
 fi
 
 echo "CI OK"

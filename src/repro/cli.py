@@ -13,6 +13,9 @@ Examples::
     python -m repro metrics kmeans --format prom
     python -m repro profile traces/wordcount-gpu.json
     python -m repro profile traces/run.json --baseline traces/base.json
+    python -m repro profile traces/run.json --baseline traces/base.json \\
+        --explain
+    python -m repro postmortem traces/postmortems/
     python -m repro specs
 """
 
@@ -118,6 +121,10 @@ def _add_fault_options(p: argparse.ArgumentParser) -> None:
     p.add_argument("--min-workers", type=int, default=1,
                    help="random departures never shrink the cluster "
                         "below this")
+    p.add_argument("--postmortem-dir", default=None,
+                   help="arm the flight recorder: dump a post-mortem "
+                        "bundle here on every fault injection (and, under "
+                        "`monitor`, every alert firing)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -209,6 +216,23 @@ def build_parser() -> argparse.ArgumentParser:
                               "e.g. makespan_s=0.2 or critical_path=0.5")
     profile.add_argument("--quiet", action="store_true",
                          help="suppress the text report (gate only)")
+    profile.add_argument("--explain", action="store_true",
+                         help="with --baseline: attribute the makespan "
+                              "delta to a ranked list of causes")
+    profile.add_argument("--explain-out", default=None,
+                         help="write the machine-readable explanation "
+                              "JSON here (implies --explain)")
+
+    postmortem = sub.add_parser(
+        "postmortem",
+        help="render flight-recorder post-mortem bundles (a bundle file "
+             "or a directory of them)")
+    postmortem.add_argument("path",
+                            help="a postmortem-*.json file or a directory "
+                                 "containing them")
+    postmortem.add_argument("--spans", type=int, default=12,
+                            help="trace-slice tail length to show per "
+                                 "bundle")
 
     sub.add_parser("list", help="list available workloads")
     sub.add_parser("specs", help="show the GPU spec catalog")
@@ -455,7 +479,11 @@ def _cmd_chaos(args, out) -> int:
             n_workers=args.workers, cpu=CPUSpec(), gpus_per_worker=gpus,
             flink=FlinkConfig(enable_tracing=tracing,
                               retry_backoff_base_s=args.backoff,
-                              executor=args.executor))
+                              executor=args.executor,
+                              enable_flight_recorder=bool(
+                                  args.postmortem_dir
+                                  and schedule is not None),
+                              flight_recorder_dir=args.postmortem_dir))
         cluster = GFlinkCluster(config, gpu_config=gpu_config)
         engine = cluster.install_chaos(schedule) if schedule else None
         workload = _make_workload(args.workload, args)
@@ -481,6 +509,10 @@ def _cmd_chaos(args, out) -> int:
     if args.out:
         write_chrome_trace(cluster.obs.tracer, args.out)
         print(f"trace: {args.out}", file=out)
+    recorder = cluster.obs.recorder
+    if recorder is not None and recorder.bundles:
+        print(f"post-mortems: {len(recorder.bundles)} bundle(s) in "
+              f"{args.postmortem_dir}", file=out)
     if values_equal(baseline.value, result.value):
         print("result: identical to the fault-free run", file=out)
         return 0
@@ -565,7 +597,9 @@ def _cmd_monitor(args, out) -> int:
         flink=FlinkConfig(enable_tracing=True, enable_monitoring=True,
                           monitor_window_s=args.window,
                           retry_backoff_base_s=args.backoff,
-                          executor=args.executor))
+                          executor=args.executor,
+                          enable_flight_recorder=bool(args.postmortem_dir),
+                          flight_recorder_dir=args.postmortem_dir))
     cluster = GFlinkCluster(config)
     mon = cluster.obs.monitor
     for kind, q, target in slos:
@@ -603,6 +637,10 @@ def _cmd_monitor(args, out) -> int:
             summary, args.dashboard_out,
             title=f"GMonitor: {args.workload} ({args.mode})")
         print(f"dashboard: {args.dashboard_out}", file=out)
+    recorder = cluster.obs.recorder
+    if recorder is not None and recorder.bundles:
+        print(f"post-mortems: {len(recorder.bundles)} bundle(s) in "
+              f"{args.postmortem_dir}", file=out)
 
     failed = False
     by_rule = {}
@@ -689,7 +727,53 @@ def _cmd_profile(args, out) -> int:
     deltas = compare_summaries(summary, baseline,
                                _parse_thresholds(args.threshold))
     print(render_comparison(deltas), file=out)
+    if args.explain or args.explain_out:
+        from repro.obs.explain import (
+            explain_summaries, render_explanation, validate_explanation)
+        explanation = explain_summaries(summary, baseline)
+        explanation["baseline"]["source"] = args.baseline
+        explanation["current"]["source"] = args.trace
+        exp_errors = validate_explanation(explanation)
+        if exp_errors:
+            for error in exp_errors:
+                print(f"invalid explanation: {error}", file=out)
+            return 2
+        print(render_explanation(explanation), file=out)
+        if args.explain_out:
+            from pathlib import Path
+            path = Path(args.explain_out)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(_json.dumps(explanation, indent=2) + "\n")
+            print(f"explanation: {path}", file=out)
     return 1 if any(d.regressed for d in deltas) else 0
+
+
+def _cmd_postmortem(args, out) -> int:
+    from repro.obs.flightrecorder import (
+        load_bundles, render_bundle, validate_postmortem_bundle)
+
+    try:
+        bundles = load_bundles(args.path)
+    except (OSError, ValueError) as exc:
+        print(f"cannot load post-mortem bundles from {args.path}: {exc}",
+              file=out)
+        return 2
+    if not bundles:
+        print(f"no post-mortem bundles found at {args.path}", file=out)
+        return 2
+    failed = False
+    for i, (filename, doc) in enumerate(bundles):
+        if i:
+            print("", file=out)
+        print(f"== {filename}", file=out)
+        errors = validate_postmortem_bundle(doc)
+        if errors:
+            failed = True
+            for error in errors:
+                print(f"  INVALID: {error}", file=out)
+            continue
+        print(render_bundle(doc, spans=args.spans), file=out)
+    return 2 if failed else 0
 
 
 def _cmd_list(out) -> int:
@@ -728,6 +812,8 @@ def main(argv: Optional[list] = None, out=None) -> int:
         return _cmd_monitor(args, out)
     if args.command == "profile":
         return _cmd_profile(args, out)
+    if args.command == "postmortem":
+        return _cmd_postmortem(args, out)
     if args.command == "list":
         return _cmd_list(out)
     if args.command == "specs":

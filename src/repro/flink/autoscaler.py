@@ -28,6 +28,18 @@ config — so logical partitioning, and with it the job's result, is
 untouched: the autoscaler changes *when and where* work runs, not *what*
 runs.
 
+Two *predictive* policies ride on the trend detectors
+(:mod:`repro.obs.anomaly`): each tick feeds the measured slot pressure to
+the monitor as a ``scheduler.slot_pressure`` gauge and reads its slope
+back through ``GMonitor.trends()`` (falling back to a local
+:class:`~repro.obs.anomaly.SlidingTrend` when monitoring is off).  A
+*rising* pressure trend adds a worker before the hard
+``slot_pressure_high`` threshold is crossed; a pressure that stays below
+``slot_pressure_low`` for ``low_pressure_windows`` consecutive ticks with
+a non-rising trend **drains** the most recently joined schedulable worker
+(never below ``min_workers``).  Draining migrates cached partitions and
+keeps logical parallelism pinned, so results stay bit-identical.
+
 Every decision is appended to :attr:`Autoscaler.decisions`, traced as an
 alert-style instant on the master's ``autoscaler`` lane, and counted under
 ``autoscale.decisions`` so the resilience report and dashboard can show
@@ -40,6 +52,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional, TYPE_CHECKING
 
 from repro.common.simclock import Event
+from repro.obs.anomaly import SlidingTrend
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.flink.runtime import Cluster
@@ -66,6 +79,22 @@ class AutoscalerPolicy:
     #: Ceilings for the tuning actuations (never raised past these).
     max_queue_blocks: int = 16
     max_block_nbytes: float = 64 * 2**20
+    #: Predictive scale-up: pressure slope (per tick) above which a worker
+    #: is added *before* ``slot_pressure_high`` is crossed, provided the
+    #: level is already past half the hard threshold.
+    predictive: bool = True
+    pressure_slope_high: float = 0.05
+    #: Scale-down: pressure below ``slot_pressure_low`` for
+    #: ``low_pressure_windows`` consecutive ticks with a non-rising trend
+    #: (slope <= ``drain_slope_max``) drains one worker, never below
+    #: ``min_workers`` schedulable members.
+    scale_down: bool = True
+    slot_pressure_low: float = 0.25
+    low_pressure_windows: int = 5
+    min_workers: int = 1
+    drain_slope_max: float = 0.0
+    #: Ticks of pressure history feeding the trend estimate.
+    trend_window: int = 8
 
 
 @dataclass
@@ -96,6 +125,17 @@ class Autoscaler:
         # pcie_bound is level-triggered by profile summaries but should
         # actuate once per observation, not every tick.
         self._pcie_pending = False
+        # Local trend state over per-tick pressure samples: the fallback
+        # slope source when monitoring (and with it GMonitor.trends())
+        # is off.  Ticks of low pressure accumulate in _low_run.
+        self._pressure_trend = SlidingTrend(window=self.policy.trend_window)
+        self._low_run = 0
+        # Scale-down only arms after the cluster has been under load at
+        # least once: draining during the initial HDFS load phase (when
+        # pressure is still zero) would race the block write pipeline.
+        self._busy_seen = False
+        #: Drain processes started by scale-down decisions.
+        self.drains: List[Any] = []
 
     # -- lifecycle ---------------------------------------------------------------
     def start(self) -> None:
@@ -133,16 +173,33 @@ class Autoscaler:
 
     # -- one evaluation ------------------------------------------------------------
     def _evaluate(self) -> None:
+        policy = self.policy
         if self._pcie_pending:
             self._pcie_pending = False
             self._apply_pcie([])
         pressure = self.slot_pressure()
-        if pressure > self.policy.slot_pressure_high:
-            self._maybe_add_worker(pressure)
+        # Publish the sample (a gauge the dashboard can plot and trend
+        # rules can watch) and update the local fallback detector.
+        self.cluster.obs.monitor.gauge("scheduler.slot_pressure", pressure)
+        self._pressure_trend.update(pressure)
+        slope = self.pressure_slope()
+        if pressure > policy.slot_pressure_high:
+            self._maybe_add_worker(pressure, slope)
+        elif policy.predictive and slope > policy.pressure_slope_high \
+                and pressure > policy.slot_pressure_high / 2.0:
+            self._maybe_add_worker(pressure, slope, signal="pressure_trend")
         remote_frac = self._remote_read_fraction()
         if remote_frac is not None \
-                and remote_frac > self.policy.remote_read_fraction_high:
+                and remote_frac > policy.remote_read_fraction_high:
             self._deepen_queue(remote_frac)
+        if pressure >= policy.slot_pressure_low:
+            self._low_run = 0
+            self._busy_seen = True
+        elif self._busy_seen:
+            self._low_run += 1
+        if policy.scale_down and self._low_run >= policy.low_pressure_windows \
+                and slope <= policy.drain_slope_max:
+            self._maybe_drain_worker(pressure, slope)
 
     # -- signal readers ------------------------------------------------------------
     def slot_pressure(self) -> float:
@@ -155,6 +212,20 @@ class Autoscaler:
         active = sum(w.taskmanager.active_subtasks for w in members)
         capacity = len(members) * cluster.config.slots
         return active / capacity if capacity else 0.0
+
+    def pressure_slope(self) -> float:
+        """Slot-pressure trend, in pressure units per tick.
+
+        Prefers the monitor's ``trends()`` over the published
+        ``scheduler.slot_pressure`` gauge (the ROADMAP's "predictive
+        policies from GMonitor time-series trends"); falls back to the
+        local per-tick detector when monitoring is off.
+        """
+        trends = self.cluster.obs.monitor.trends(
+            "scheduler.slot_pressure", window=self.policy.trend_window)
+        for snap in trends.values():
+            return float(snap.get("slope") or 0.0)
+        return self._pressure_trend.slope()
 
     def _remote_read_fraction(self) -> Optional[float]:
         """Remote share of HDFS block reads since the previous tick."""
@@ -170,7 +241,8 @@ class Autoscaler:
         return deltas["remote"] / total
 
     # -- actuations ------------------------------------------------------------
-    def _maybe_add_worker(self, pressure: float) -> None:
+    def _maybe_add_worker(self, pressure: float, slope: float = 0.0,
+                          signal: str = "sched_bound") -> None:
         cluster = self.cluster
         if len(cluster.member_names()) >= self.policy.max_workers:
             return
@@ -178,8 +250,34 @@ class Autoscaler:
             return
         self._last_scale_at = self.env.now
         name = cluster.add_worker()
-        self._decide("sched_bound", "add_worker", worker=name,
-                     slot_pressure=round(pressure, 3))
+        self._decide(signal, "add_worker", worker=name,
+                     slot_pressure=round(pressure, 3),
+                     pressure_slope=round(slope, 4))
+
+    def _maybe_drain_worker(self, pressure: float, slope: float) -> None:
+        """Scale-down: drain the most recently joined schedulable worker.
+
+        Draining (not killing): the worker quiesces, migrates its cached
+        partitions, then leaves — logical parallelism stays pinned, so
+        the job's result is bit-identical; only placement/timing change.
+        """
+        cluster = self.cluster
+        members = [n for n in cluster.member_names()
+                   if cluster.worker_is_schedulable(n)]
+        if len(members) <= self.policy.min_workers:
+            return
+        if self.env.now - self._last_scale_at < self.policy.cooldown_s:
+            return
+        victim = members[-1]
+        self._last_scale_at = self.env.now
+        self._low_run = 0
+        self.drains.append(self.env.process(
+            cluster.drain_worker(victim),
+            name=f"autoscale-drain-{victim}"))
+        self._decide("low_pressure", "drain_worker", worker=victim,
+                     slot_pressure=round(pressure, 3),
+                     pressure_slope=round(slope, 4),
+                     members_left=len(members) - 1)
 
     def _deepen_queue(self, remote_frac: float) -> None:
         tuning = self.cluster.tuning

@@ -398,6 +398,11 @@ class ChaosEngine:
                           else {"device": event.device}))
         obs.registry.counter("chaos.events", kind=event.kind.value).inc()
         self.applied.append(event)
+        if obs.recorder is not None:
+            # Post-mortem bundle at the moment of injection: the trace
+            # slice and metric windows show the cluster state the fault
+            # landed in (host-side file I/O only — no simulation events).
+            obs.recorder.record_fault(self.cluster, event)
         if event.kind is FaultKind.WORKER_JOIN:
             self.cluster.add_worker(event.worker)
             return

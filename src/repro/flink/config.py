@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.common.errors import ConfigError
 from repro.common.network import NetworkConfig
@@ -143,6 +144,20 @@ class FlinkConfig:
     # Windows retained per series (older points are dropped).
     monitor_retention_windows: int = 720
 
+    # Flight recorder (repro.obs.flightrecorder): retain a bounded ring of
+    # recent spans + closed metric windows and dump a post-mortem bundle
+    # (JSON) when an alert fires or the chaos engine injects a fault.
+    # Purely passive — bounded deques plus dump-time host file I/O — so
+    # the simulated clock stays bit-identical either way.
+    enable_flight_recorder: bool = False
+    # Directory bundles are written to (None keeps them in memory only).
+    flight_recorder_dir: Optional[str] = None
+    # Ring capacities and the bundle cap (a runaway alert storm must not
+    # fill the disk).
+    flight_recorder_spans: int = 512
+    flight_recorder_windows: int = 512
+    flight_recorder_max_bundles: int = 16
+
     # Execution architecture (docs/STREAMING_EXECUTOR.md).  "staged" runs
     # one operator wave at a time with a full barrier between operators;
     # "pipelined" streams HDFS blocks through whole pipeline regions with a
@@ -175,6 +190,10 @@ class FlinkConfig:
             raise ConfigError("monitor_window_s must be positive")
         if self.monitor_retention_windows < 1:
             raise ConfigError("monitor_retention_windows must be >= 1")
+        if self.flight_recorder_spans < 1 or \
+                self.flight_recorder_windows < 1 or \
+                self.flight_recorder_max_bundles < 1:
+            raise ConfigError("flight recorder capacities must be >= 1")
         if self.pipeline_block_nbytes <= 0:
             raise ConfigError("pipeline_block_nbytes must be positive")
         if self.shuffle_block_header_s < 0:

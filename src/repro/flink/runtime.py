@@ -60,7 +60,12 @@ class Cluster:
             self.env, enabled=flink.enable_tracing,
             monitoring=flink.enable_monitoring,
             monitor_window_s=flink.monitor_window_s,
-            monitor_retention=flink.monitor_retention_windows)
+            monitor_retention=flink.monitor_retention_windows,
+            flight_recorder=flink.enable_flight_recorder,
+            flight_recorder_dir=flink.flight_recorder_dir,
+            flight_recorder_spans=flink.flight_recorder_spans,
+            flight_recorder_windows=flink.flight_recorder_windows,
+            flight_recorder_max_bundles=flink.flight_recorder_max_bundles)
         names = self.config.worker_names()
         for name in names:
             self.obs.monitor.register_worker(name)

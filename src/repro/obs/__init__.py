@@ -28,6 +28,16 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.obs.explain import (
+    explain_summaries,
+    render_explanation,
+    validate_explanation,
+)
+from repro.obs.flightrecorder import (
+    FlightRecorder,
+    render_bundle,
+    validate_postmortem_bundle,
+)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.monitor import (
     NULL_MONITOR,
@@ -48,6 +58,7 @@ from repro.obs.trace import TraceEvent, Tracer, Track
 __all__ = [
     "AlertRule",
     "Counter",
+    "FlightRecorder",
     "GMonitor",
     "Gauge",
     "Histogram",
@@ -60,9 +71,14 @@ __all__ = [
     "Tracer",
     "Track",
     "compare_summaries",
+    "explain_summaries",
     "profile_file",
+    "render_bundle",
+    "render_explanation",
     "summarize_tracer",
+    "validate_explanation",
     "validate_monitor_summary",
+    "validate_postmortem_bundle",
     "validate_profile_summary",
 ]
 
@@ -79,14 +95,29 @@ class Observability:
 
     def __init__(self, env: Any, enabled: bool = False,
                  monitoring: bool = False, monitor_window_s: float = 1.0,
-                 monitor_retention: int = 720):
+                 monitor_retention: int = 720,
+                 flight_recorder: bool = False,
+                 flight_recorder_dir: Any = None,
+                 flight_recorder_spans: int = 512,
+                 flight_recorder_windows: int = 512,
+                 flight_recorder_max_bundles: int = 16):
         self.tracer = Tracer(env, enabled=enabled)
         self.registry = MetricsRegistry(enabled=enabled or monitoring)
+        # The recorder is passive (bounded deques + dump-time file I/O):
+        # it works with monitoring (alert-triggered bundles with metric
+        # windows) or with bare chaos runs (fault-triggered bundles).
+        self.recorder = (FlightRecorder(
+            env, tracer=self.tracer, dirpath=flight_recorder_dir,
+            span_capacity=flight_recorder_spans,
+            window_capacity=flight_recorder_windows,
+            max_bundles=flight_recorder_max_bundles)
+            if flight_recorder else None)
         if monitoring:
             self.monitor = GMonitor(env, tracer=self.tracer,
                                     registry=self.registry,
                                     window_s=monitor_window_s,
-                                    retention=monitor_retention)
+                                    retention=monitor_retention,
+                                    recorder=self.recorder)
         else:
             self.monitor = NULL_MONITOR
 

@@ -13,6 +13,8 @@ from __future__ import annotations
 import html
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.obs.anomaly import changepoints, slope_of
+
 __all__ = ["render_dashboard", "write_dashboard"]
 
 _MAX_SPARKLINES = 60
@@ -53,9 +55,32 @@ def _series_values(points: List[List[Any]]) -> List[Tuple[int, float]]:
     return out
 
 
+def _trend_glyph(points: List[Tuple[int, float]]) -> str:
+    """Direction arrow for the trailing-window slope of a series."""
+    tail = [v for _, v in points[-8:]]
+    if len(tail) < 3:
+        return ""
+    s = slope_of(tail)
+    scale = max(1e-9, max(abs(v) for v in tail))
+    if abs(s) < 0.01 * scale:
+        arrow, color = "&#8594;", "#888"       # → flat
+    elif s > 0:
+        arrow, color = "&#8599;", "#d03030"    # ↗ rising
+    else:
+        arrow, color = "&#8600;", "#2a9d3e"    # ↘ falling
+    return (f'<text x="2" y="10" font-size="10" fill="{color}">'
+            f'{arrow}<title>trailing slope {s:.3g}/window</title>'
+            f'</text>')
+
+
 def _sparkline(points: List[Tuple[int, float]], lo_idx: int,
                hi_idx: int) -> str:
-    """One polyline SVG over the window range [lo_idx, hi_idx]."""
+    """One polyline SVG over the window range [lo_idx, hi_idx].
+
+    Overlays the anomaly detectors from :mod:`repro.obs.anomaly`:
+    mean-shift changepoints as red dots, the trailing-window slope as a
+    direction arrow in the top-left corner.
+    """
     if not points:
         return ""
     span = max(1, hi_idx - lo_idx)
@@ -63,14 +88,26 @@ def _sparkline(points: List[Tuple[int, float]], lo_idx: int,
     vmin = min(0.0, min(v for _, v in points))
     vspan = (vmax - vmin) or 1.0
     coords = []
+    xy = {}
     for idx, v in points:
         x = (idx - lo_idx) / span * (_SPARK_W - 4) + 2
         y = _SPARK_H - 4 - (v - vmin) / vspan * (_SPARK_H - 8)
         coords.append(f"{x:.1f},{y:.1f}")
+        xy[idx] = (x, y)
+    markers = []
+    if len(points) >= 8:
+        for cp in changepoints(points):
+            if cp in xy:
+                x, y = xy[cp]
+                markers.append(
+                    f'<circle cx="{x:.1f}" cy="{y:.1f}" r="2.5" '
+                    f'fill="#d03030"><title>mean shift at window '
+                    f'{cp}</title></circle>')
     return (
         f'<svg width="{_SPARK_W}" height="{_SPARK_H}">'
         f'<polyline points="{" ".join(coords)}" fill="none" '
-        f'stroke="#3465a4" stroke-width="1.2"/>'
+        f'stroke="#3465a4" stroke-width="1.2"/>{"".join(markers)}'
+        f'{_trend_glyph(points)}'
         f'<text x="{_SPARK_W - 2}" y="10" text-anchor="end" font-size="9" '
         f'fill="#888">max {_fmt(vmax)}</text></svg>')
 
@@ -121,7 +158,20 @@ def _alert_timeline(doc: Dict[str, Any]) -> str:
             f't={_fmt(t0)}s</text>'
             f'<text x="{width - 4}" y="{h - 4}" font-size="9" fill="#888" '
             f'text-anchor="end">t={_fmt(t_end)}s</text>')
-    return f'<svg width="{width}" height="{h}">{"".join(rows)}{axis}</svg>'
+    svg = f'<svg width="{width}" height="{h}">{"".join(rows)}{axis}</svg>'
+    # Flight-recorder bundles are written next to the dashboard's
+    # artifacts; relative links keep the file self-contained offline.
+    bundled = [a for a in alerts if a.get("bundle")]
+    if bundled:
+        items = "".join(
+            f'<li><code>{html.escape(a["rule"])}</code> fired @ '
+            f'{float(a["fired_at_s"]):.2f}s &#8594; '
+            f'<a href="{html.escape(a["bundle"])}">'
+            f'{html.escape(a["bundle"])}</a></li>'
+            for a in bundled)
+        svg += (f'<p class="muted">post-mortem bundles:</p>'
+                f'<ul class="muted">{items}</ul>')
+    return svg
 
 
 def _slo_section(doc: Dict[str, Any]) -> str:

@@ -48,6 +48,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.common.errors import ConfigError
+from repro.obs.anomaly import SlidingTrend, trend_snapshot
 from repro.obs.metrics import Histogram, LabelItems, metric_key, render_key
 
 __all__ = [
@@ -343,11 +344,14 @@ class AlertRule:
     """One alert rule over a series family.
 
     ``predicate`` is one of ``above`` / ``below`` (threshold on the window
-    value) or ``rate_above`` (window-over-window increase exceeds the
-    threshold).  The rule fires after ``sustained`` consecutive breaching
-    windows and resolves after ``resolve_after`` consecutive quiet ones.
-    ``labels`` restricts matching to series whose labels are a superset;
-    for histogram series ``window_field`` picks the per-window statistic.
+    value), ``rate_above`` (window-over-window increase exceeds the
+    threshold), or ``trend_above`` / ``trend_below`` (least-squares slope
+    of the last ``trend_window`` window values, in value-per-window units,
+    crosses the threshold).  The rule fires after ``sustained`` consecutive
+    breaching windows and resolves after ``resolve_after`` consecutive
+    quiet ones.  ``labels`` restricts matching to series whose labels are
+    a superset; for histogram series ``window_field`` picks the per-window
+    statistic.
     """
 
     name: str
@@ -359,14 +363,18 @@ class AlertRule:
     severity: str = "warning"
     labels: Tuple[Tuple[str, str], ...] = ()
     window_field: str = "count"
+    trend_window: int = 8
 
     def __post_init__(self) -> None:
-        if self.predicate not in ("above", "below", "rate_above"):
+        if self.predicate not in ("above", "below", "rate_above",
+                                  "trend_above", "trend_below"):
             raise ConfigError(f"unknown predicate {self.predicate!r}")
         if self.severity not in ("warning", "critical"):
             raise ConfigError(f"unknown severity {self.severity!r}")
         if self.sustained < 1 or self.resolve_after < 1:
             raise ConfigError("sustained/resolve_after must be >= 1")
+        if self.trend_window < 2:
+            raise ConfigError("trend_window must be >= 2")
 
     def matches(self, series: Series) -> bool:
         if series.name != self.series:
@@ -385,6 +393,8 @@ class Alert:
     resolved_at_s: Optional[float] = None
     peak: float = 0.0
     labels: Dict[str, str] = field(default_factory=dict)
+    #: Post-mortem bundle filename when a flight recorder dumped one.
+    bundle: Optional[str] = None
 
     @property
     def active(self) -> bool:
@@ -395,19 +405,24 @@ class Alert:
             "rule": self.rule, "series": self.series,
             "severity": self.severity, "fired_at_s": self.fired_at_s,
             "resolved_at_s": self.resolved_at_s, "peak": self.peak,
-            "labels": dict(self.labels),
+            "labels": dict(self.labels), "bundle": self.bundle,
         }
 
 
 class _RuleState:
-    __slots__ = ("series", "breach_run", "ok_run", "last_value", "alert")
+    __slots__ = ("series", "breach_run", "ok_run", "last_value", "alert",
+                 "trend")
 
-    def __init__(self, series: Series):
+    def __init__(self, series: Series, rule: "AlertRule"):
         self.series = series
         self.breach_run = 0
         self.ok_run = 0
         self.last_value = 0.0
         self.alert: Optional[Alert] = None
+        # Online slope state, only materialized for trend predicates.
+        self.trend: Optional[SlidingTrend] = (
+            SlidingTrend(window=rule.trend_window)
+            if rule.predicate in ("trend_above", "trend_below") else None)
 
 
 class AlertEngine:
@@ -437,8 +452,13 @@ class AlertEngine:
         return float(value)
 
     def evaluate(self, idx: int, t_end: float,
-                 closed: List[Tuple[Series, Any]]) -> None:
-        """Evaluate every rule against window ``idx`` (ending at t_end)."""
+                 closed: List[Tuple[Series, Any]]) -> List[Alert]:
+        """Evaluate every rule against window ``idx`` (ending at t_end).
+
+        Returns the alerts that *fired* this window (for flight-recorder
+        dumps); lifecycle state lives in :attr:`history` as before.
+        """
+        fired: List[Alert] = []
         closed_by_series = {id(s): v for s, v in closed}
         # Discover series newly matching a rule.
         for ri, rule in enumerate(self.rules):
@@ -446,7 +466,7 @@ class AlertEngine:
                 if rule.matches(s):
                     k = (ri, s.key)
                     if k not in self._states:
-                        self._states[k] = _RuleState(s)
+                        self._states[k] = _RuleState(s, rule)
         for (ri, _skey), state in self._states.items():
             rule = self.rules[ri]
             raw = closed_by_series.get(id(state.series))
@@ -461,9 +481,22 @@ class AlertEngine:
                 breach = value > rule.threshold
             elif rule.predicate == "below":
                 breach = value < rule.threshold
+            elif rule.predicate in ("trend_above", "trend_below"):
+                state.trend.update(value)
+                slope = state.trend.slope()
+                # Half-full window before a slope is trusted: a single
+                # early point must not fire a trend rule.
+                ready = len(state.trend) >= max(2, rule.trend_window // 2)
+                if rule.predicate == "trend_above":
+                    breach = ready and slope > rule.threshold
+                else:
+                    breach = ready and slope < rule.threshold
+                state.last_value = value   # raw, for gauge carry-forward
+                value = slope              # reported as the alert's peak
             else:  # rate_above
                 breach = (value - state.last_value) > rule.threshold
-            state.last_value = value
+            if rule.predicate not in ("trend_above", "trend_below"):
+                state.last_value = value
             if breach:
                 state.breach_run += 1
                 state.ok_run = 0
@@ -478,6 +511,7 @@ class AlertEngine:
                               labels=dict(state.series.labels))
                 state.alert = alert
                 self.history.append(alert)
+                fired.append(alert)
                 self._instant("alert.fired", alert)
             elif alert is not None:
                 if breach:
@@ -486,6 +520,7 @@ class AlertEngine:
                     alert.resolved_at_s = t_end
                     state.alert = None
                     self._instant("alert.resolved", alert)
+        return fired
 
     def _instant(self, what: str, alert: Alert) -> None:
         if self._tracer is None:
@@ -608,11 +643,15 @@ class GMonitor:
     )
 
     def __init__(self, env: Any, tracer=None, registry=None,
-                 window_s: float = 1.0, retention: int = 720):
+                 window_s: float = 1.0, retention: int = 720,
+                 recorder=None):
         if window_s <= 0:
             raise ConfigError(f"window_s must be positive, got {window_s}")
         self._env = env
         self._registry = registry
+        #: Optional FlightRecorder: fed every closed window, dumps a
+        #: post-mortem bundle per fired alert.  Never schedules events.
+        self.recorder = recorder
         self.window_s = window_s
         self.store = TimeSeriesStore(retention=retention)
         self.slo = SLOTracker(self.store)
@@ -649,8 +688,13 @@ class GMonitor:
             idx = self._cur
             t_end = (idx + 1) * self.window_s
             closed = self.store.close_window(idx)
-            self.alerts.evaluate(idx, t_end, closed)
+            fired = self.alerts.evaluate(idx, t_end, closed)
             self.health.score_window(idx, self.alerts)
+            if self.recorder is not None:
+                self.recorder.record_windows(idx, t_end, closed)
+                for alert in fired:
+                    alert.bundle = self.recorder.dump_for_alert(
+                        self, alert, t_end)
             self._windows_closed += 1
             self._cur += 1
 
@@ -763,6 +807,30 @@ class GMonitor:
     def add_rule(self, rule: AlertRule) -> AlertRule:
         return self.alerts.add_rule(rule)
 
+    # -- trends ------------------------------------------------------------------
+
+    def trends(self, name: Optional[str] = None, window: int = 8,
+               alpha: float = 0.3) -> Dict[str, Dict[str, Any]]:
+        """Per-series trend snapshots over the stored (closed) windows.
+
+        Keyed by the series key; each snapshot carries ``slope`` (value
+        per window, least-squares over the last ``window`` points),
+        ``zscore`` (EWMA drift of the latest point), ``mean``, ``last``
+        and ``direction``.  ``name`` restricts to one series family —
+        the autoscaler reads ``trends("scheduler.slot_pressure")`` for
+        its predictive policies.  Pure arithmetic over already-closed
+        windows; never advances the clock.
+        """
+        out: Dict[str, Dict[str, Any]] = {}
+        for s in self.store.all_series():
+            if name is not None and s.name != name:
+                continue
+            snap = trend_snapshot(s.points, window=window, alpha=alpha)
+            snap["name"] = s.name
+            snap["labels"] = dict(s.labels)
+            out[s.key] = snap
+        return out
+
     def set_latency_target(self, target: float,
                            percentile: float = 0.99) -> None:
         """Point the built-in job_latency SLO at a concrete target."""
@@ -800,7 +868,8 @@ class GMonitor:
                 {"name": r.name, "series": r.series,
                  "predicate": r.predicate, "threshold": r.threshold,
                  "sustained": r.sustained, "resolve_after": r.resolve_after,
-                 "severity": r.severity, "labels": dict(r.labels)}
+                 "severity": r.severity, "labels": dict(r.labels),
+                 "trend_window": r.trend_window}
                 for r in self.alerts.rules
             ],
             "alerts": self.alerts.summary(),
@@ -856,6 +925,9 @@ class _NullMonitor:
 
     def add_rule(self, rule) -> None:
         pass
+
+    def trends(self, name=None, window=8, alpha=0.3) -> dict:
+        return {}
 
     def set_latency_target(self, target, percentile=0.99) -> None:
         pass

@@ -715,9 +715,25 @@ def compare_summaries(current: Dict[str, Any], baseline: Dict[str, Any],
                base_cats.get(cat, 0.0), cur_cats.get(cat, 0.0))
     base_ops = baseline.get("operators") or {}
     cur_ops = current.get("operators") or {}
-    for op in sorted(set(base_ops) & set(cur_ops)):
-        scalar(f"operator.{op}.wall_s", "operator_wall",
-               base_ops[op].get("wall_s"), cur_ops[op].get("wall_s"))
+    for op in sorted(set(base_ops) | set(cur_ops)):
+        if op in base_ops and op in cur_ops:
+            scalar(f"operator.{op}.wall_s", "operator_wall",
+                   base_ops[op].get("wall_s"), cur_ops[op].get("wall_s"))
+            continue
+        # An operator present in only one summary is a plan change, not a
+        # noisy scalar: a new operator — however hot — must not pass the
+        # gate unflagged, and a vanished one is worth a line in the report.
+        entry = cur_ops.get(op) if op in cur_ops else base_ops.get(op)
+        wall = (entry or {}).get("wall_s")
+        if not isinstance(wall, (int, float)) or abs(wall) < _MIN_SECONDS:
+            continue
+        t = _threshold_for(f"operator.{op}.wall_s", "operator_wall", thr)
+        if op in cur_ops:
+            deltas.append(Delta(f"operator.{op}.wall_s", 0.0, float(wall),
+                                math.inf, t, True))
+        else:
+            deltas.append(Delta(f"operator.{op}.wall_s", float(wall), 0.0,
+                                -1.0, t, False))
     base_tot = baseline.get("totals") or {}
     cur_tot = current.get("totals") or {}
     scalar("totals.copy_compute_overlap_pct", "overlap_pct",

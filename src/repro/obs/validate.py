@@ -20,7 +20,12 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Tuple
 
+from repro.obs.explain import EXPLAIN_SCHEMA, validate_explanation
 from repro.obs.export import validate_chrome_trace_file
+from repro.obs.flightrecorder import (
+    POSTMORTEM_SCHEMA,
+    validate_postmortem_bundle,
+)
 from repro.obs.monitor import MONITOR_SCHEMA, validate_monitor_summary
 from repro.obs.profile import SUMMARY_SCHEMA, validate_profile_summary
 
@@ -36,6 +41,10 @@ def _validate_file(path: str) -> Tuple[str, List[str]]:
         return "monitor summary", validate_monitor_summary(doc)
     if schema == SUMMARY_SCHEMA:
         return "profile summary", validate_profile_summary(doc)
+    if schema == EXPLAIN_SCHEMA:
+        return "explanation", validate_explanation(doc)
+    if schema == POSTMORTEM_SCHEMA:
+        return "post-mortem bundle", validate_postmortem_bundle(doc)
     return "chrome trace", validate_chrome_trace_file(path)
 
 

@@ -280,6 +280,112 @@ class TestAutoscaler:
         scaler._evaluate()
         assert cluster.tuning.pipeline_queue_blocks == 2 * before
 
+    def test_pressure_slope_falls_back_to_local_trend(self):
+        cluster = make_cluster(n_workers=2)
+        scaler = Autoscaler(cluster)
+        for p in (0.1, 0.2, 0.3, 0.4):
+            scaler._pressure_trend.update(p)
+        assert scaler.pressure_slope() == pytest.approx(0.1)
+
+    def test_pressure_slope_prefers_monitor_trends(self):
+        cluster = make_cluster(n_workers=2, enable_monitoring=True)
+        scaler = Autoscaler(cluster)
+        s = cluster.obs.monitor.store.series("scheduler.slot_pressure",
+                                             "gauge")
+        for i in range(6):
+            s.record(i, 0.2 * i)
+            s.close(i)
+        # The published gauge's trend wins over the local per-tick state.
+        assert scaler.pressure_slope() == pytest.approx(0.2)
+
+    def test_sustained_low_pressure_drains_a_worker(self):
+        cluster = make_cluster(n_workers=3)
+        policy = AutoscalerPolicy(low_pressure_windows=3, min_workers=2,
+                                  cooldown_s=0.0)
+        scaler = Autoscaler(cluster, policy)
+        scaler._busy_seen = True      # as if the cluster had run tasks
+        for _ in range(3):
+            scaler._evaluate()        # idle cluster: pressure 0 each tick
+        drains = [d for d in scaler.decisions if d.action == "drain_worker"]
+        assert len(drains) == 1
+        assert drains[0].signal == "low_pressure"
+        cluster.env.run()             # let the drain process finish
+        schedulable = [n for n in cluster.member_names()
+                       if cluster.worker_is_schedulable(n)]
+        assert len(schedulable) == 2
+
+    def test_idle_from_birth_never_drains(self):
+        # Before any load is observed (e.g. during the HDFS load phase)
+        # low-pressure windows must not accumulate: draining there would
+        # race in-flight block writes.
+        cluster = make_cluster(n_workers=3)
+        policy = AutoscalerPolicy(low_pressure_windows=1, min_workers=1,
+                                  cooldown_s=0.0)
+        scaler = Autoscaler(cluster, policy)
+        for _ in range(5):
+            scaler._evaluate()
+        assert all(d.action != "drain_worker" for d in scaler.decisions)
+        assert not scaler._busy_seen
+
+    def test_min_workers_floor_blocks_drain(self):
+        cluster = make_cluster(n_workers=2)
+        policy = AutoscalerPolicy(low_pressure_windows=1, min_workers=2,
+                                  cooldown_s=0.0)
+        scaler = Autoscaler(cluster, policy)
+        scaler._busy_seen = True
+        for _ in range(5):
+            scaler._evaluate()
+        assert all(d.action != "drain_worker" for d in scaler.decisions)
+        assert len(cluster.member_names()) == 2
+
+    def test_scale_down_disabled_never_drains(self):
+        cluster = make_cluster(n_workers=3)
+        policy = AutoscalerPolicy(low_pressure_windows=1, scale_down=False,
+                                  cooldown_s=0.0)
+        scaler = Autoscaler(cluster, policy)
+        scaler._busy_seen = True
+        for _ in range(5):
+            scaler._evaluate()
+        assert all(d.action != "drain_worker" for d in scaler.decisions)
+
+    def test_predictive_scale_down_drains_idle_worker_bit_identically(self):
+        from repro.core import GFlinkCluster, GFlinkSession
+        from repro.flink import ClusterConfig, CPUSpec
+        from repro.workloads import KMeansWorkload
+
+        def run(scaled):
+            cluster = GFlinkCluster(ClusterConfig(
+                n_workers=4, cpu=CPUSpec(cores=2),
+                gpus_per_worker=("c2050",)))
+            scaler = None
+            if scaled:
+                # slot_pressure_high=10 suppresses scale-up so the run
+                # isolates the drain path; the inter-iteration submit
+                # gaps of KMeans provide the sustained-idle windows.
+                scaler = Autoscaler(cluster, AutoscalerPolicy(
+                    interval_s=0.1, cooldown_s=1.0,
+                    low_pressure_windows=3, min_workers=2,
+                    slot_pressure_high=10.0))
+                scaler.start()
+            res = KMeansWorkload(real_elements=3000, iterations=3).run(
+                GFlinkSession(cluster), "cpu")
+            if scaler:
+                scaler.stop()
+            return res, scaler, cluster
+
+        plain, _, _ = run(scaled=False)
+        scaled, scaler, cluster = run(scaled=True)
+        cluster.env.run()             # finish in-flight drain processes
+        drains = [d for d in scaler.decisions
+                  if d.action == "drain_worker"]
+        assert drains, "sustained idle windows never triggered a drain"
+        assert all(d.signal == "low_pressure" for d in drains)
+        schedulable = [n for n in cluster.member_names()
+                       if cluster.worker_is_schedulable(n)]
+        assert len(schedulable) >= scaler.policy.min_workers
+        assert len(schedulable) < 4
+        assert values_equal(plain.value, scaled.value)
+
     def test_autoscaled_run_is_identical_and_never_slower(self):
         def run_job(cluster):
             session = FlinkSession(cluster)

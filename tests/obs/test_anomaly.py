@@ -1,0 +1,141 @@
+"""Unit tests for the deterministic anomaly/trend detectors.
+
+Pure-arithmetic contracts: exact slopes on linear series, EWMA drift
+scores spiking on a step, changepoint detection on mean shifts, input
+validation, and bit-identical output on identical input.
+"""
+
+import pytest
+
+from repro.obs.anomaly import (
+    SlidingTrend,
+    changepoints,
+    ewma_zscores,
+    slope_of,
+    trend_snapshot,
+    window_slopes,
+)
+
+
+class TestSlope:
+    def test_exact_on_linear_series(self):
+        assert slope_of([1.0, 2.0, 3.0, 4.0]) == pytest.approx(1.0)
+        assert slope_of([10.0, 8.0, 6.0]) == pytest.approx(-2.0)
+        assert slope_of([0.0, 3.0]) == pytest.approx(3.0)
+
+    def test_flat_and_degenerate(self):
+        assert slope_of([5.0, 5.0, 5.0]) == 0.0
+        assert slope_of([5.0]) == 0.0
+        assert slope_of([]) == 0.0
+
+    def test_window_slopes_trailing(self):
+        pts = [(i, float(i)) for i in range(6)]
+        out = window_slopes(pts, window=3)
+        assert out[0] == (0, 0.0)          # single value: no slope yet
+        assert all(s == pytest.approx(1.0) for _, s in out[1:])
+
+    def test_window_slopes_validates_window(self):
+        with pytest.raises(ValueError):
+            window_slopes([(0, 1.0)], window=1)
+
+
+class TestEwmaZscores:
+    def test_warmup_points_score_zero(self):
+        pts = [(i, 100.0 * i) for i in range(3)]
+        assert [z for _, z in ewma_zscores(pts, warmup=3)] == [0.0, 0.0, 0.0]
+
+    def test_spike_scores_high_steady_scores_low(self):
+        pts = [(i, 10.0 + (0.1 if i % 2 else -0.1)) for i in range(20)]
+        pts.append((20, 50.0))
+        scores = dict(ewma_zscores(pts))
+        assert abs(scores[19]) < 3.0
+        assert scores[20] > 10.0
+
+    def test_flat_series_saturates_not_explodes(self):
+        pts = [(i, 5.0) for i in range(10)] + [(10, 6.0)]
+        scores = dict(ewma_zscores(pts))
+        assert scores[9] == 0.0
+        assert scores[10] == pytest.approx(1e6)
+
+    def test_alpha_validation(self):
+        with pytest.raises(ValueError):
+            ewma_zscores([(0, 1.0)], alpha=0.0)
+        with pytest.raises(ValueError):
+            ewma_zscores([(0, 1.0)], alpha=1.5)
+
+
+class TestChangepoints:
+    def test_detects_mean_shift(self):
+        pts = [(i, 1.0 + 0.01 * (i % 2)) for i in range(10)]
+        pts += [(10 + i, 9.0 + 0.01 * (i % 2)) for i in range(10)]
+        found = changepoints(pts, window=8)
+        assert found, "step change not detected"
+        # The detection lands while the window straddles the shift.
+        assert all(10 <= idx <= 14 for idx in found)
+
+    def test_consecutive_detections_collapse(self):
+        pts = [(i, 0.0) for i in range(8)] + \
+            [(8 + i, 100.0) for i in range(8)]
+        assert len(changepoints(pts, window=8)) == 1
+
+    def test_no_changepoints_on_steady_noise(self):
+        pts = [(i, 3.0 + 0.05 * ((-1) ** i)) for i in range(30)]
+        assert changepoints(pts, window=8) == []
+
+    def test_short_series_yields_nothing(self):
+        assert changepoints([(i, float(i)) for i in range(3)]) == []
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            changepoints([], window=3)
+
+
+class TestSlidingTrend:
+    def test_online_matches_batch(self):
+        values = [1.0, 4.0, 2.0, 8.0, 3.0, 9.0, 5.0, 7.0, 6.0]
+        trend = SlidingTrend(window=4)
+        for v in values:
+            trend.update(v)
+        assert trend.slope() == pytest.approx(slope_of(values[-4:]))
+        assert trend.mean() == pytest.approx(sum(values[-4:]) / 4)
+        assert trend.last() == 6.0
+        assert len(trend) == 4
+        assert trend.count == len(values)
+
+    def test_snapshot_direction(self):
+        up = SlidingTrend(window=4)
+        for v in (1.0, 2.0, 3.0):
+            up.update(v)
+        assert up.snapshot()["direction"] == "up"
+        flat = SlidingTrend(window=4)
+        for _ in range(4):
+            flat.update(2.0)
+        assert flat.snapshot()["direction"] == "flat"
+
+    def test_empty_trend_is_inert(self):
+        trend = SlidingTrend()
+        assert trend.slope() == 0.0
+        assert trend.last() is None
+        assert trend.snapshot()["n"] == 0
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            SlidingTrend(window=1)
+
+    def test_determinism_bitwise(self):
+        values = [0.3 * i ** 1.5 - (i % 3) for i in range(40)]
+
+        def run():
+            t = SlidingTrend(window=8)
+            out = []
+            for v in values:
+                t.update(v)
+                out.append((t.slope(), t.zscore(), t.mean()))
+            return out
+        assert run() == run()
+
+    def test_trend_snapshot_unwraps_histogram_windows(self):
+        pts = [(i, {"count": float(i), "p99": 99.0}) for i in range(5)]
+        snap = trend_snapshot(pts, window=4)
+        assert snap["last"] == 4.0
+        assert snap["slope"] == pytest.approx(1.0)

@@ -1,0 +1,225 @@
+"""GXplain tests: causal attribution of makespan deltas.
+
+Two layers: synthetic summary dicts with hand-computable bucket deltas
+(exact-sum invariant, ranking, evidence, operator plan changes), and
+trace-built summaries via the ``test_profile`` span builders to pin the
+end-to-end path (a known injected slowdown must rank first).
+"""
+
+import math
+
+import pytest
+
+from repro.obs.explain import (
+    EXPLAIN_SCHEMA,
+    attribution_buckets,
+    default_noise_floor,
+    explain_summaries,
+    render_explanation,
+    validate_explanation,
+)
+from repro.obs.profile import summarize
+from tests.obs.test_profile import (
+    add_device,
+    add_exchange,
+    add_job,
+    add_submit,
+    add_task,
+    pt,
+    tracer,
+)
+
+
+def seg(t0, dur, kind="task", name="op:x", **cats):
+    return {"t0": t0, "t1": t0 + dur, "dur_s": dur, "kind": kind,
+            "name": name, "categories": cats}
+
+
+def make_summary(segments, operators=None, devices=None):
+    makespan = sum(s["dur_s"] for s in segments)
+    return {
+        "makespan_s": makespan,
+        "critical_path": {"segments": segments},
+        "operators": operators or {},
+        "devices": devices or {},
+    }
+
+
+class TestAttributionBuckets:
+    def test_buckets_partition_the_makespan(self):
+        s = make_summary([
+            seg(0.0, 1.0, kind="submit", name="job.submit"),
+            seg(1.0, 4.0, cpu=3.0, kernel=0.5, h2d=0.5),
+            seg(5.0, 2.0, kind="shuffle", name="exchange:B"),
+            seg(7.0, 1.5, kind="wait", name="wait"),
+            seg(8.5, 0.5, name="recover:A", cpu=0.5),
+        ])
+        buckets = attribution_buckets(s)
+        assert sum(buckets.values()) == pytest.approx(s["makespan_s"])
+        assert buckets["sched.submit"] == 1.0
+        assert buckets["shuffle"] == 2.0
+        assert buckets["sched.wait"] == 1.5
+        assert buckets["recovery"] == 0.5
+        assert buckets["cpu"] == 3.0
+        assert buckets["kernel"] == 0.5
+
+    def test_unclaimed_task_time_falls_to_cpu(self):
+        s = make_summary([seg(0.0, 2.0, cpu=0.5)])
+        assert attribution_buckets(s)["cpu"] == pytest.approx(2.0)
+
+    def test_sched_category_maps_to_gaps(self):
+        s = make_summary([seg(0.0, 1.0, sched=1.0)])
+        assert attribution_buckets(s)["sched.gaps"] == pytest.approx(1.0)
+
+
+class TestExplainSummaries:
+    def base(self):
+        return make_summary([
+            seg(0.0, 1.0, kind="submit", name="job.submit"),
+            seg(1.0, 6.0, cpu=4.0, kernel=1.0, h2d=1.0),
+            seg(7.0, 3.0, kind="shuffle", name="exchange:B"),
+        ])
+
+    def test_self_diff_has_no_causes(self):
+        s = self.base()
+        doc = explain_summaries(s, s)
+        assert validate_explanation(doc) == []
+        assert doc["causes"] == []
+        assert doc["makespan_delta_s"] == 0.0
+        assert "no causes above the noise floor" in render_explanation(doc)
+
+    def test_injected_slowdown_ranks_first_and_sums_exactly(self):
+        base = self.base()
+        cur = make_summary([
+            seg(0.0, 1.0, kind="submit", name="job.submit"),
+            seg(1.0, 10.0, cpu=4.0, kernel=5.0, h2d=1.0),  # kernel +4 s
+            seg(11.0, 3.5, kind="shuffle", name="exchange:B"),  # +0.5 s
+        ])
+        doc = explain_summaries(cur, base, noise_floor_s=0.1)
+        assert validate_explanation(doc) == []
+        assert doc["causes"][0]["key"] == "kernel"
+        assert doc["causes"][0]["delta_s"] == pytest.approx(4.0)
+        assert doc["causes"][0]["rank"] == 1
+        assert [c["key"] for c in doc["causes"]] == ["kernel", "shuffle"]
+        total = sum(c["delta_s"] for c in doc["causes"])
+        assert total + doc["residual_s"] == \
+            pytest.approx(doc["makespan_delta_s"], abs=1e-12)
+        assert abs(doc["residual_s"]) <= doc["noise_floor_s"] * \
+            len(attribution_buckets(base))
+
+    def test_speedup_attributes_negative_causes(self):
+        base = self.base()
+        cur = make_summary([
+            seg(0.0, 1.0, kind="submit", name="job.submit"),
+            seg(1.0, 6.0, cpu=4.0, kernel=1.0, h2d=1.0),
+            seg(7.0, 1.0, kind="shuffle", name="exchange:B"),  # -2 s
+        ])
+        doc = explain_summaries(cur, base, noise_floor_s=0.1)
+        assert doc["makespan_delta_s"] == pytest.approx(-2.0)
+        assert doc["causes"][0]["key"] == "shuffle"
+        assert doc["causes"][0]["delta_s"] == pytest.approx(-2.0)
+
+    def test_recovery_bucket_with_evidence(self):
+        base = self.base()
+        cur = make_summary(list(self.base()["critical_path"]["segments"])
+                           + [seg(10.0, 0.9, name="recover:A", cpu=0.9)])
+        doc = explain_summaries(cur, base, noise_floor_s=0.1)
+        recovery = [c for c in doc["causes"] if c["key"] == "recovery"]
+        assert recovery and recovery[0]["delta_s"] == pytest.approx(0.9)
+        kinds = {e["kind"] for e in recovery[0]["evidence"]}
+        assert "recovery" in kinds
+        assert any("recover" in e["label"] for e in recovery[0]["evidence"])
+
+    def test_operator_evidence_from_shares(self):
+        base = self.base()
+        base["operators"] = {"A": {"wall_s": 4.0, "shares": {"cpu": 1.0}}}
+        cur = make_summary([
+            seg(0.0, 1.0, kind="submit", name="job.submit"),
+            seg(1.0, 9.0, cpu=7.0, kernel=1.0, h2d=1.0),
+            seg(10.0, 3.0, kind="shuffle", name="exchange:B"),
+        ], operators={"A": {"wall_s": 7.0, "shares": {"cpu": 1.0}}})
+        doc = explain_summaries(cur, base, noise_floor_s=0.1)
+        cpu = [c for c in doc["causes"] if c["key"] == "cpu"][0]
+        ops = [e for e in cpu["evidence"] if e["kind"] == "operator"]
+        assert ops and ops[0]["name"] == "A"
+        assert ops[0]["delta_s"] == pytest.approx(3.0)
+
+    def test_added_and_removed_operators_reported(self):
+        base = self.base()
+        base["operators"] = {"gone": {"wall_s": 2.0}}
+        cur = self.base()
+        cur["operators"] = {"new": {"wall_s": 5.0}}
+        doc = explain_summaries(cur, base)
+        assert doc["operators_added"] == [{"name": "new", "wall_s": 5.0}]
+        assert doc["operators_removed"] == [{"name": "gone", "wall_s": 2.0}]
+        text = render_explanation(doc)
+        assert "+ operator `new` appeared" in text
+        assert "- operator `gone` disappeared" in text
+
+    def test_default_noise_floor_scales_with_makespan(self):
+        assert default_noise_floor({"makespan_s": 0.0},
+                                   {"makespan_s": 0.0}) == 1e-3
+        assert default_noise_floor({"makespan_s": 400.0},
+                                   {"makespan_s": 100.0}) == \
+            pytest.approx(2.0)
+
+
+class TestValidator:
+    def good(self):
+        s = make_summary([seg(0.0, 5.0, cpu=5.0)])
+        cur = make_summary([seg(0.0, 9.0, cpu=9.0)])
+        return explain_summaries(cur, s, noise_floor_s=0.1)
+
+    def test_good_document_validates(self):
+        assert validate_explanation(self.good()) == []
+
+    def test_rejects_non_dict_and_bad_schema(self):
+        assert validate_explanation([]) != []
+        doc = dict(self.good(), schema="nope")
+        assert any("schema" in e for e in validate_explanation(doc))
+
+    def test_rejects_broken_rank_and_order(self):
+        doc = self.good()
+        doc["causes"][0]["rank"] = 7
+        assert any("rank" in e for e in validate_explanation(doc))
+        doc = self.good()
+        doc["causes"].append(dict(doc["causes"][0], rank=2,
+                                  delta_s=doc["causes"][0]["delta_s"] * 2))
+        doc["attributed_delta_s"] += doc["causes"][1]["delta_s"]
+        assert any("sorted" in e for e in validate_explanation(doc))
+
+    def test_rejects_inconsistent_sums(self):
+        doc = self.good()
+        doc["attributed_delta_s"] += 1.0
+        assert validate_explanation(doc) != []
+        doc = self.good()
+        doc["residual_s"] += 1.0
+        assert any("residual" in e for e in validate_explanation(doc))
+
+
+class TestTraceBuiltSummaries:
+    """End to end over real GProfiler output (not hand-built dicts)."""
+
+    def run(self, cpu_end):
+        t = tracer()
+        add_job(t, 0.0, cpu_end + 4.0)
+        add_submit(t, 0.0, 1.0)
+        add_task(t, "A", 1.0, cpu_end)
+        add_device(t, "k", "kernel", 1.0, 2.0)
+        add_exchange(t, "B", cpu_end, cpu_end + 1.0)
+        add_task(t, "B", cpu_end + 1.0, cpu_end + 4.0)
+        return summarize(pt(t))
+
+    def test_injected_cpu_slowdown_ranks_first(self):
+        base = self.run(cpu_end=5.0)
+        cur = self.run(cpu_end=9.0)          # operator A runs 4 s longer
+        doc = explain_summaries(cur, base)
+        assert validate_explanation(doc) == []
+        assert doc["makespan_delta_s"] == pytest.approx(4.0)
+        assert doc["causes"][0]["key"] == "cpu"
+        assert doc["causes"][0]["delta_s"] == pytest.approx(4.0, abs=1.1)
+        total = sum(c["delta_s"] for c in doc["causes"])
+        assert total + doc["residual_s"] == \
+            pytest.approx(doc["makespan_delta_s"], abs=1e-9)
+        assert doc["schema"] == EXPLAIN_SCHEMA
+        assert math.isfinite(doc["noise_floor_s"])

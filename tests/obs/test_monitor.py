@@ -222,6 +222,98 @@ class TestAlertEngine:
         assert len(engine.history) == 1
 
 
+class TestTrendRules:
+    def make(self, predicate, threshold, window=6):
+        store = TimeSeriesStore()
+        engine = AlertEngine()
+        engine.add_rule(AlertRule(name="trend", series="x",
+                                  predicate=predicate, threshold=threshold,
+                                  sustained=1, trend_window=window))
+        return engine, store
+
+    def test_trend_above_fires_on_ramp(self):
+        engine, store = self.make("trend_above", 0.5)
+        s = store.series("x", "gauge")
+        for idx, v in enumerate([1.0, 2.0, 3.0, 4.0, 5.0, 6.0]):
+            s.record(idx, v)
+            _evaluate(engine, store, idx)
+        assert len(engine.history) == 1
+        # The alert's peak is the breaching slope, not the raw value.
+        assert engine.history[0].peak == pytest.approx(1.0)
+
+    def test_flat_series_never_fires(self):
+        engine, store = self.make("trend_above", 0.5)
+        s = store.series("x", "gauge")
+        for idx in range(8):
+            s.record(idx, 5.0)
+            _evaluate(engine, store, idx)
+        assert engine.history == []
+
+    def test_trend_below_fires_on_decay(self):
+        engine, store = self.make("trend_below", -0.5)
+        s = store.series("x", "gauge")
+        for idx, v in enumerate([9.0, 8.0, 7.0, 6.0, 5.0, 4.0]):
+            s.record(idx, v)
+            _evaluate(engine, store, idx)
+        assert len(engine.history) == 1
+
+    def test_needs_half_window_before_firing(self):
+        engine, store = self.make("trend_above", 0.0, window=8)
+        s = store.series("x", "gauge")
+        for idx, v in enumerate([1.0, 5.0, 9.0]):
+            s.record(idx, v)
+            _evaluate(engine, store, idx)
+        assert engine.history == []        # 3 samples < trend_window//2 = 4
+
+    def test_trend_rule_keeps_gauge_carry_forward(self):
+        # The engine's carried window value must stay the raw gauge
+        # reading, not the slope the rule reported as the alert value.
+        engine, store = self.make("trend_above", 100.0)
+        s = store.series("x", "gauge")
+        s.record(0, 7.0)
+        _evaluate(engine, store, 0)
+        state = next(iter(engine._states.values()))
+        assert state.last_value == 7.0     # raw, not slope (0.0)
+
+    def test_bad_trend_window_rejected(self):
+        with pytest.raises(ConfigError):
+            AlertRule(name="t", series="x", predicate="trend_above",
+                      trend_window=1)
+
+
+class TestTrendsAPI:
+    def test_trends_snapshot_shape_and_direction(self):
+        env = FakeEnv()
+        mon = GMonitor(env, window_s=1.0)
+        for i in range(8):
+            env.now = i + 0.5
+            mon.gauge("depth", float(i))
+        env.now = 8.0
+        mon.finalize()
+        snaps = mon.trends("depth")
+        assert len(snaps) == 1
+        snap = next(iter(snaps.values()))
+        assert snap["name"] == "depth"
+        assert snap["n"] == 8
+        assert snap["slope"] == pytest.approx(1.0)
+        assert snap["direction"] == "up"
+        assert snap["last"] == pytest.approx(7.0)
+
+    def test_trends_filter_by_name(self):
+        env = FakeEnv()
+        mon = GMonitor(env, window_s=1.0)
+        env.now = 0.5
+        mon.gauge("a", 1.0)
+        mon.gauge("b", 2.0)
+        env.now = 1.0
+        mon.finalize()
+        assert {s["name"] for s in mon.trends().values()} >= {"a", "b"}
+        assert all(s["name"] == "a" for s in mon.trends("a").values())
+
+    def test_null_monitor_trends_empty(self):
+        assert NULL_MONITOR.trends() == {}
+
+
 # ---------------------------------------------------------------------------
 # Health
 # ---------------------------------------------------------------------------
@@ -332,11 +424,16 @@ class TestGMonitorWindows:
 # ---------------------------------------------------------------------------
 
 def run_workload(workload_cls, kwargs, mode, monitoring,
-                 schedule=None):
+                 schedule=None, flight_recorder_dir=None):
     config = ClusterConfig(
         n_workers=4, cpu=CPUSpec(cores=2), gpus_per_worker=("c2050",),
         flink=FlinkConfig(enable_monitoring=monitoring,
-                          retry_backoff_base_s=0.05))
+                          retry_backoff_base_s=0.05,
+                          enable_flight_recorder=(
+                              flight_recorder_dir is not None),
+                          flight_recorder_dir=(
+                              str(flight_recorder_dir)
+                              if flight_recorder_dir else None)))
     cluster = GFlinkCluster(config)
     if schedule is not None:
         cluster.install_chaos(schedule)
@@ -382,6 +479,40 @@ class TestZeroCostAndClockIdentity:
         assert "gpu.pcie.bytes" in names
         assert any(n.startswith("health.") for n in names)
         assert validate_monitor_summary(mon.summary()) == []
+
+
+class TestDetectorDeterminism:
+    def test_identical_runs_give_identical_summaries_and_trends(self):
+        def one():
+            schedule = ChaosSchedule()
+            schedule.kill_worker("worker1", at=100.0)
+            cluster, _ = run_workload(
+                WordCountWorkload, dict(real_elements=4000), "gpu", True,
+                schedule=schedule)
+            mon = cluster.obs.monitor
+            mon.finalize()
+            return mon.summary(), mon.trends()
+        s1, t1 = one()
+        s2, t2 = one()
+        assert json.dumps(s1, sort_keys=True) == \
+            json.dumps(s2, sort_keys=True)
+        assert t1 == t2
+
+
+class TestFlightRecorderZeroCost:
+    @pytest.mark.parametrize("workload_cls,kwargs,mode", MATRIX,
+                             ids=["kmeans-cpu", "kmeans-gpu",
+                                  "wordcount-cpu", "wordcount-gpu"])
+    def test_recorder_keeps_clock_bit_identical(self, workload_cls,
+                                                kwargs, mode, tmp_path):
+        on_cluster, on = run_workload(
+            workload_cls, kwargs, mode, True,
+            flight_recorder_dir=tmp_path / "pm")
+        off_cluster, off = run_workload(workload_cls, kwargs, mode, False)
+        assert on_cluster.obs.recorder is not None
+        assert on_cluster.env.now == off_cluster.env.now
+        assert on.total_seconds == off.total_seconds
+        assert on.iteration_seconds == off.iteration_seconds
 
 
 class TestChaosMonitoring:

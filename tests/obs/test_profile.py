@@ -438,13 +438,54 @@ class TestRegressionGate:
         assert not any(d.regressed
                        for d in compare_summaries(cur, base))
 
-    def test_operators_only_compared_when_shared(self):
+    def test_added_operator_is_flagged_as_regression(self):
+        base, cur = self.summary(), self.summary()
+        cur["operators"]["new"] = {"wall_s": 99.0}
+        deltas = compare_summaries(cur, base)
+        added = [d for d in deltas if d.metric == "operator.new.wall_s"]
+        assert len(added) == 1
+        assert added[0].regressed
+        assert added[0].base == 0.0 and added[0].current == 99.0
+        assert math.isinf(added[0].rel_change)
+        assert "operator.new.wall_s" in render_comparison(deltas)
+
+    def test_removed_operator_is_reported_not_regressed(self):
         base, cur = self.summary(), self.summary()
         base["operators"]["gone"] = {"wall_s": 1.0}
-        cur["operators"]["new"] = {"wall_s": 99.0}
+        deltas = compare_summaries(cur, base)
+        removed = [d for d in deltas if d.metric == "operator.gone.wall_s"]
+        assert len(removed) == 1
+        assert not removed[0].regressed
+        assert removed[0].base == 1.0 and removed[0].current == 0.0
+        assert removed[0].rel_change == -1.0
+
+    def test_added_operator_below_noise_floor_is_skipped(self):
+        base, cur = self.summary(), self.summary()
+        cur["operators"]["tiny"] = {"wall_s": 1e-9}
+        cur["operators"]["junk"] = {"wall_s": "n/a"}
         metrics = {d.metric for d in compare_summaries(cur, base)}
-        assert "operator.gone.wall_s" not in metrics
-        assert "operator.new.wall_s" not in metrics
+        assert "operator.tiny.wall_s" not in metrics
+        assert "operator.junk.wall_s" not in metrics
+
+    def test_empty_summaries_compare_without_error(self):
+        deltas = compare_summaries({}, {})
+        assert not any(d.regressed for d in deltas)
+
+    def test_partial_summary_missing_operators_section(self):
+        base, cur = self.summary(), self.summary()
+        del cur["operators"]
+        deltas = compare_summaries(cur, base)
+        # Every baseline operator shows up as removed, none regressed.
+        removed = [d for d in deltas if d.metric.startswith("operator.")]
+        assert removed and not any(d.regressed for d in removed)
+
+    def test_operator_wall_threshold_applies_to_added(self):
+        base, cur = self.summary(), self.summary()
+        cur["operators"]["new"] = {"wall_s": 5.0}
+        deltas = compare_summaries(cur, base,
+                                   {"operator.new.wall_s": 0.5})
+        added = [d for d in deltas if d.metric == "operator.new.wall_s"]
+        assert added and added[0].threshold == 0.5 and added[0].regressed
 
 
 class TestProfileFile:

@@ -151,6 +151,51 @@ class TestProfileCli:
         code, _ = run_cli(args + ["--threshold", "makespan_s=0.01"])
         assert code == 1
 
+    def test_explain_self_diff_reports_no_causes(self, trace_path):
+        code, text = run_cli(["profile", str(trace_path), "--quiet",
+                              "--baseline", str(trace_path), "--explain"])
+        assert code == 0
+        assert "explain: makespan +0.000 s" in text
+        assert "no causes above the noise floor" in text
+
+    def test_explain_ranks_causes_and_writes_json(self, trace_path,
+                                                  tmp_path):
+        from repro.obs.explain import validate_explanation
+        from repro.obs.profile import profile_file
+        base = profile_file(trace_path)
+        # Shrink the dominant task category in the baseline: the current
+        # run then reads as a regression in exactly that bucket.
+        segments = [s for s in base["critical_path"]["segments"]
+                    if s.get("kind") == "task"]
+        totals = {}
+        for seg in segments:
+            for cat, secs in seg.get("categories", {}).items():
+                totals[cat] = totals.get(cat, 0.0) + secs
+        top_cat = max(totals, key=totals.get)
+        shrunk = 0.0
+        for seg in segments:
+            secs = seg.get("categories", {}).get(top_cat, 0.0)
+            if secs > 0.0:
+                seg["categories"][top_cat] = secs / 2.0
+                seg["dur_s"] -= secs / 2.0
+                shrunk += secs / 2.0
+        assert shrunk > 0.0
+        base["makespan_s"] -= shrunk
+        base_path = tmp_path / "base.json"
+        base_path.write_text(json.dumps(base))
+        explain_path = tmp_path / "explain.json"
+        code, text = run_cli(["profile", str(trace_path), "--quiet",
+                              "--baseline", str(base_path),
+                              "--explain-out", str(explain_path)])
+        assert "explain: makespan +" in text
+        doc = json.loads(explain_path.read_text())
+        assert validate_explanation(doc) == []
+        expected = "sched.gaps" if top_cat == "sched" else top_cat
+        assert doc["causes"][0]["key"] == expected
+        assert doc["causes"][0]["delta_s"] == pytest.approx(shrunk)
+        assert doc["causes"][0]["label"] in text
+        assert doc["current"]["source"] == str(trace_path)
+
     def test_bad_inputs_exit_2(self, tmp_path):
         missing = tmp_path / "missing.json"
         assert run_cli(["profile", str(missing)])[0] == 2
